@@ -1,0 +1,53 @@
+# Development entry points for the wsnva reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test test-short race bench tables csv report fuzz examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./internal/runtime/ .
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every experiment table (E1-E15, A1-A3).
+tables:
+	$(GO) run ./cmd/benchtab
+
+# Same, writing one CSV per experiment into results/.
+csv:
+	$(GO) run ./cmd/benchtab -out results
+
+# Self-contained markdown report of every experiment.
+report:
+	$(GO) run ./cmd/report -o results/report.md
+
+fuzz:
+	$(GO) test -fuzz FuzzDecodeSummary -fuzztime 30s ./internal/wire/
+	$(GO) test -fuzz FuzzDecodeGraphMsg -fuzztime 30s ./internal/wire/
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/microclimate
+	$(GO) run ./examples/contaminant
+	$(GO) run ./examples/retasking
+	$(GO) run ./examples/wildfire
+	$(GO) run ./examples/clustered
+	$(GO) run ./examples/tracking
+
+clean:
+	rm -rf results

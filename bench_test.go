@@ -1,0 +1,252 @@
+// Package wsnva_test is the benchmark harness: one testing.B target per
+// experiment table in DESIGN.md's index (BenchmarkE1…BenchmarkE10, plus the
+// A-series ablations), and micro-benchmarks for the hot substrate paths.
+// Run `go test -bench=. -benchmem` here, or `go run ./cmd/benchtab` for the
+// full printed tables.
+package wsnva_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"wsnva/internal/cost"
+	"wsnva/internal/deploy"
+	"wsnva/internal/experiments"
+	"wsnva/internal/field"
+	"wsnva/internal/geom"
+	"wsnva/internal/lockstep"
+	"wsnva/internal/radio"
+	"wsnva/internal/regions"
+	"wsnva/internal/runtime"
+	"wsnva/internal/sim"
+	"wsnva/internal/stats"
+	"wsnva/internal/synth"
+	"wsnva/internal/varch"
+	"wsnva/internal/vtopo"
+	"wsnva/internal/vtree"
+	"wsnva/internal/wire"
+)
+
+var quick = experiments.Options{Quick: true}
+
+// benchTable runs an experiment-table generator once per iteration and
+// keeps the result alive.
+func benchTable(b *testing.B, f func(experiments.Options) *stats.Table) {
+	b.Helper()
+	var sink *stats.Table
+	for i := 0; i < b.N; i++ {
+		sink = f(quick)
+	}
+	if sink.NumRows() == 0 {
+		b.Fatal("empty table")
+	}
+}
+
+func BenchmarkE1Mapping(b *testing.B)         { benchTable(b, experiments.E1Mapping) }
+func BenchmarkE2Steps(b *testing.B)           { benchTable(b, experiments.E2Steps) }
+func BenchmarkE3DCvsCentral(b *testing.B)     { benchTable(b, experiments.E3DCvsCentral) }
+func BenchmarkE4Balance(b *testing.B)         { benchTable(b, experiments.E4Balance) }
+func BenchmarkE5Emulation(b *testing.B)       { benchTable(b, experiments.E5Emulation) }
+func BenchmarkE6Election(b *testing.B)        { benchTable(b, experiments.E6Election) }
+func BenchmarkE7Loss(b *testing.B)            { benchTable(b, experiments.E7Loss) }
+func BenchmarkE8Correspondence(b *testing.B)  { benchTable(b, experiments.E8Correspondence) }
+func BenchmarkE9Collectives(b *testing.B)     { benchTable(b, experiments.E9Collectives) }
+func BenchmarkE10Churn(b *testing.B)          { benchTable(b, experiments.E10Churn) }
+func BenchmarkE11SyncSteps(b *testing.B)      { benchTable(b, experiments.E11SyncSteps) }
+func BenchmarkE12TreeTopology(b *testing.B)   { benchTable(b, experiments.E12TreeTopology) }
+func BenchmarkE13LossyEmulation(b *testing.B) { benchTable(b, experiments.E13LossyEmulation) }
+func BenchmarkE14AlarmApp(b *testing.B)       { benchTable(b, experiments.E14AlarmApp) }
+func BenchmarkE15Lifetime(b *testing.B)       { benchTable(b, experiments.E15Lifetime) }
+func BenchmarkE16WholeApp(b *testing.B)       { benchTable(b, experiments.E16WholeApp) }
+func BenchmarkA1Mappers(b *testing.B)         { benchTable(b, experiments.A1MappingAblation) }
+func BenchmarkA2Workloads(b *testing.B)       { benchTable(b, experiments.A2FieldShapes) }
+func BenchmarkA3CostModels(b *testing.B)      { benchTable(b, experiments.A3CostSensitivity) }
+
+// BenchmarkLabelRoundLockstep measures the synchronous engine.
+func BenchmarkLabelRoundLockstep(b *testing.B) {
+	for _, side := range []int{8, 16, 32} {
+		side := side
+		b.Run(sideName(side), func(b *testing.B) {
+			g := geom.NewSquareGrid(side, float64(side))
+			f := field.RandomBlobs(4, g.Terrain, float64(side)/8, float64(side)/5, rand.New(rand.NewSource(1)))
+			m := field.Threshold(f, g, 0.5, 0)
+			h := varch.MustHierarchy(g)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				l := cost.NewLedger(cost.NewUniform(), g.N())
+				if _, err := lockstep.New(h, l).Run(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWireCodec measures summary encode+decode round trips.
+func BenchmarkWireCodec(b *testing.B) {
+	g := geom.NewSquareGrid(32, 32)
+	bits := make([]bool, g.N())
+	rng := rand.New(rand.NewSource(5))
+	for i := range bits {
+		bits[i] = rng.Intn(3) == 0
+	}
+	m := field.FromBits(g, bits)
+	s := regions.LeafBlock(m, 0, 0, 16, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := wire.EncodeSummary(s)
+		if _, err := wire.DecodeSummary(g, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTreeBuild measures spanning-tree construction on a clustered
+// deployment.
+func BenchmarkTreeBuild(b *testing.B) {
+	terrain := geom.Rect{MaxX: 100, MaxY: 100}
+	var nw *deploy.Network
+	for seed := int64(0); seed < 50; seed++ {
+		cand := deploy.New(200, terrain, 18, deploy.Clustered{Clusters: 4, Spread: 0.1}, rand.New(rand.NewSource(seed)))
+		if cand.Connected() {
+			nw = cand
+			break
+		}
+	}
+	if nw == nil {
+		b.Fatal("no connected deployment")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := cost.NewLedger(cost.NewUniform(), nw.N())
+		med := radio.NewMedium(nw, sim.New(), l, rand.New(rand.NewSource(7)), radio.Config{})
+		p := vtree.New(med)
+		if m := p.Build(0); m.Reached != nw.N() {
+			b.Fatal("tree did not span")
+		}
+	}
+}
+
+// --- substrate micro-benchmarks ---
+
+// BenchmarkLabelRoundDES measures one full synthesized labeling round on
+// the discrete-event machine per grid size.
+func BenchmarkLabelRoundDES(b *testing.B) {
+	for _, side := range []int{8, 16, 32} {
+		side := side
+		b.Run(sideName(side), func(b *testing.B) {
+			g := geom.NewSquareGrid(side, float64(side))
+			f := field.RandomBlobs(4, g.Terrain, float64(side)/8, float64(side)/5, rand.New(rand.NewSource(1)))
+			m := field.Threshold(f, g, 0.5, 0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h := varch.MustHierarchy(g)
+				l := cost.NewLedger(cost.NewUniform(), g.N())
+				vm := varch.NewMachine(h, sim.New(), l)
+				if _, err := synth.RunOnMachine(vm, m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLabelRoundConcurrent measures the goroutine-per-node engine.
+func BenchmarkLabelRoundConcurrent(b *testing.B) {
+	for _, side := range []int{8, 16} {
+		side := side
+		b.Run(sideName(side), func(b *testing.B) {
+			g := geom.NewSquareGrid(side, float64(side))
+			f := field.RandomBlobs(4, g.Terrain, float64(side)/8, float64(side)/5, rand.New(rand.NewSource(1)))
+			m := field.Threshold(f, g, 0.5, 0)
+			h := varch.MustHierarchy(g)
+			rt := runtime.New(h)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := rt.Run(m, nil, runtime.Config{Seed: int64(i)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSummaryMerge measures the boundary-merge operation on two half
+// summaries of a random map.
+func BenchmarkSummaryMerge(b *testing.B) {
+	g := geom.NewSquareGrid(32, 32)
+	bits := make([]bool, g.N())
+	rng := rand.New(rand.NewSource(2))
+	for i := range bits {
+		bits[i] = rng.Intn(3) == 0
+	}
+	m := field.FromBits(g, bits)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		left := regions.LeafBlock(m, 0, 0, 16, 32)
+		right := regions.LeafBlock(m, 16, 0, 16, 32)
+		left.Merge(right)
+	}
+}
+
+// BenchmarkGroundTruthLabel measures the sequential union-find labeler.
+func BenchmarkGroundTruthLabel(b *testing.B) {
+	g := geom.NewSquareGrid(64, 64)
+	bits := make([]bool, g.N())
+	rng := rand.New(rand.NewSource(3))
+	for i := range bits {
+		bits[i] = rng.Intn(3) == 0
+	}
+	m := field.FromBits(g, bits)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if regions.Label(m).Count == 0 {
+			b.Fatal("implausible")
+		}
+	}
+}
+
+// BenchmarkTopologyEmulation measures one full Section 5.1 setup round.
+func BenchmarkTopologyEmulation(b *testing.B) {
+	g := geom.NewSquareGrid(4, 40)
+	rng := rand.New(rand.NewSource(4))
+	nw, _, err := deploy.Generate(160, g, 11, deploy.UniformRandom{}, rng, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := cost.NewLedger(cost.NewUniform(), nw.N())
+		med := radio.NewMedium(nw, sim.New(), l, rand.New(rand.NewSource(5)), radio.Config{})
+		if m := vtopo.New(med, g).Run(); !m.Complete {
+			b.Fatal("incomplete")
+		}
+	}
+}
+
+// BenchmarkDeploymentGeneration measures placement plus adjacency
+// construction for a mid-sized deployment.
+func BenchmarkDeploymentGeneration(b *testing.B) {
+	g := geom.NewSquareGrid(8, 80)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		nw := deploy.New(640, g.Terrain, 11, deploy.UniformRandom{}, rng)
+		if nw.N() != 640 {
+			b.Fatal("bad deployment")
+		}
+	}
+}
+
+func sideName(side int) string {
+	switch side {
+	case 8:
+		return "8x8"
+	case 16:
+		return "16x16"
+	case 32:
+		return "32x32"
+	default:
+		return "grid"
+	}
+}

@@ -1,0 +1,93 @@
+// Command benchtab regenerates every experiment table of the reproduction
+// (E1–E16 plus the A-series ablations) and prints them in order. Run with
+// -quick for trimmed sweeps, -csv for machine-readable stdout, -out to also
+// write one CSV file per experiment, or -only to select experiments by ID.
+//
+// Usage:
+//
+//	benchtab [-quick] [-csv] [-out results/] [-only E3,E5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"wsnva/internal/experiments"
+	"wsnva/internal/stats"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "trim sweep ranges for a fast pass")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	out := flag.String("out", "", "directory to also write one <ID>.csv file per experiment")
+	only := flag.String("only", "", "comma-separated experiment IDs to run (e.g. E3,E8); empty runs all")
+	flag.Parse()
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	opt := experiments.Options{Quick: *quick}
+	all := []struct {
+		id  string
+		run func(experiments.Options) *stats.Table
+	}{
+		{"E1", experiments.E1Mapping},
+		{"E2", experiments.E2Steps},
+		{"E3", experiments.E3DCvsCentral},
+		{"E4", experiments.E4Balance},
+		{"E5", experiments.E5Emulation},
+		{"E6", experiments.E6Election},
+		{"E7", experiments.E7Loss},
+		{"E8", experiments.E8Correspondence},
+		{"E9", experiments.E9Collectives},
+		{"E10", experiments.E10Churn},
+		{"E11", experiments.E11SyncSteps},
+		{"E12", experiments.E12TreeTopology},
+		{"E13", experiments.E13LossyEmulation},
+		{"E14", experiments.E14AlarmApp},
+		{"E15", experiments.E15Lifetime},
+		{"E16", experiments.E16WholeApp},
+		{"A1", experiments.A1MappingAblation},
+		{"A2", experiments.A2FieldShapes},
+		{"A3", experiments.A3CostSensitivity},
+	}
+
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			selected[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+
+	ran := 0
+	for _, e := range all {
+		if len(selected) > 0 && !selected[e.id] {
+			continue
+		}
+		tab := e.run(opt)
+		if *csv {
+			fmt.Printf("# %s\n%s\n", e.id, tab.CSV())
+		} else {
+			fmt.Println(tab.String())
+		}
+		if *out != "" {
+			path := filepath.Join(*out, e.id+".csv")
+			if err := os.WriteFile(path, []byte(tab.CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "benchtab: no experiment matched -only=%s\n", *only)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,182 @@
+// Command wsnsim runs the full stack end to end, the way a deployment
+// would: generate a physical deployment, emulate the virtual grid over it
+// (Section 5.1), bind virtual processes by leader election (Section 5.2),
+// then execute the synthesized homogeneous-region labeling program on the
+// virtual architecture and report the topographic map, the labeled regions,
+// and the cost metrics.
+//
+// Usage:
+//
+//	wsnsim [-side 8] [-density 6] [-seed 1] [-field blobs|gradient|stripes]
+//	       [-thresh 0.5] [-engine des|lockstep|goroutine|physical] [-loss 0] [-retries 0]
+//	       [-trace 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"wsnva/internal/binding"
+	"wsnva/internal/cost"
+	"wsnva/internal/deploy"
+	"wsnva/internal/emul"
+	"wsnva/internal/field"
+	"wsnva/internal/geom"
+	"wsnva/internal/lockstep"
+	"wsnva/internal/radio"
+	"wsnva/internal/regions"
+	"wsnva/internal/runtime"
+	"wsnva/internal/sim"
+	"wsnva/internal/synth"
+	"wsnva/internal/trace"
+	"wsnva/internal/varch"
+	"wsnva/internal/vtopo"
+)
+
+func main() {
+	side := flag.Int("side", 8, "virtual grid side (power of two)")
+	density := flag.Int("density", 6, "mean physical nodes per grid cell")
+	seed := flag.Int64("seed", 1, "deployment and field seed")
+	fieldName := flag.String("field", "blobs", "phenomenon: blobs, gradient, stripes, solid")
+	thresh := flag.Float64("thresh", 0.5, "feature threshold")
+	engine := flag.String("engine", "des", "execution engine: des, lockstep, goroutine, or physical")
+	loss := flag.Float64("loss", 0, "message loss probability (goroutine engine only)")
+	retries := flag.Int("retries", 0, "stop-and-wait retransmissions per message (goroutine engine only)")
+	traceN := flag.Int("trace", 0, "print the last N virtual-machine events (DES engine only)")
+	flag.Parse()
+	if !geom.IsPow2(*side) {
+		log.Fatalf("wsnsim: -side must be a power of two, got %d", *side)
+	}
+
+	grid := geom.NewSquareGrid(*side, float64(*side)*10)
+	rng := rand.New(rand.NewSource(*seed))
+
+	// Physical layer: deployment satisfying the paper's assumptions.
+	n := *side * *side * *density
+	txRange := grid.CellSide() * 1.2
+	nw, attempts, err := deploy.Generate(n, grid, txRange, deploy.UniformRandom{}, rng, 100)
+	if err != nil {
+		log.Fatalf("wsnsim: %v", err)
+	}
+	fmt.Printf("deployment: %d nodes on %.0fx%.0f terrain, range %.1f, avg degree %.1f (%d attempts)\n",
+		nw.N(), grid.Terrain.Width(), grid.Terrain.Height(), txRange, nw.AvgDegree(), attempts)
+
+	// Runtime system: topology emulation + virtual-process binding.
+	physLedger := cost.NewLedger(cost.NewUniform(), nw.N())
+	med := radio.NewMedium(nw, sim.New(), physLedger, rand.New(rand.NewSource(*seed+1)), radio.Config{})
+	proto := vtopo.New(med, grid)
+	em := proto.Run()
+	fmt.Printf("topology emulation: %d broadcasts, setup time %d, complete=%v\n",
+		em.Broadcasts, em.SetupTime, em.Complete)
+	if !em.Complete {
+		log.Fatal("wsnsim: emulation incomplete; raise -density")
+	}
+	bnd, bres, err := binding.Bind(med, grid, binding.MinDistance{Network: nw, Grid: grid})
+	if err != nil {
+		log.Fatalf("wsnsim: binding failed: %v", err)
+	}
+	fmt.Printf("binding: %d leaders elected in %d broadcasts (convergence %d); runtime-system energy %d units\n",
+		len(bnd.Leaders), bres.Broadcasts, bres.Convergence, physLedger.Metrics().Total)
+
+	// Application layer: sense, threshold, label.
+	phen := makeField(*fieldName, grid, *seed)
+	m := field.Threshold(phen, grid, *thresh, 0)
+	fmt.Printf("\nphenomenon %q thresholded at %.2f -> %d feature cells:\n%s\n",
+		phen.Name(), *thresh, m.Count(), m)
+
+	h := varch.MustHierarchy(grid)
+	var final *regions.Summary
+	switch *engine {
+	case "des":
+		ledger := cost.NewLedger(cost.NewUniform(), grid.N())
+		vm := varch.NewMachine(h, sim.New(), ledger)
+		var tr *trace.Tracer
+		if *traceN > 0 {
+			tr = trace.New(*traceN)
+			vm.SetTracer(tr)
+		}
+		res, err := synth.RunOnMachine(vm, m)
+		if err != nil {
+			log.Fatalf("wsnsim: %v", err)
+		}
+		final = res.Final
+		met := ledger.Metrics()
+		fmt.Printf("labeling (DES engine): completed at t=%d, %d rule firings\n", res.Completion, res.RuleFirings)
+		fmt.Printf("energy: total %d, max node %d, balance %.2f\n", met.Total, met.Max, met.Balance)
+		if tr != nil {
+			fmt.Printf("\nlast %d virtual-machine events (%d sends, %d deliveries total):\n%s",
+				*traceN, tr.Count(trace.Send), tr.Count(trace.Deliver), tr.Timeline())
+		}
+	case "lockstep":
+		ledger := cost.NewLedger(cost.NewUniform(), grid.N())
+		res, err := lockstep.New(h, ledger).Run(m)
+		if err != nil {
+			log.Fatalf("wsnsim: %v", err)
+		}
+		final = res.Final
+		met := ledger.Metrics()
+		fmt.Printf("labeling (lockstep engine): %d synchronous rounds, %d messages, %d hops\n",
+			res.Rounds, res.Messages, res.HopsMoved)
+		fmt.Printf("energy: total %d, max node %d, balance %.2f\n", met.Total, met.Max, met.Balance)
+	case "physical":
+		// The assembled runtime: the application executes on the elected
+		// leaders over the emulated topology, sharing the physical ledger.
+		bndMachine, err := emul.New(h, proto, bnd, med)
+		if err != nil {
+			log.Fatalf("wsnsim: %v", err)
+		}
+		before := physLedger.Metrics().Total
+		res, err := bndMachine.RunLabeling(m)
+		if err != nil {
+			log.Fatalf("wsnsim: %v", err)
+		}
+		final = res.Final
+		fmt.Printf("labeling (physical runtime): completed at t=%d, %d physical hops, %d rule firings\n",
+			res.Completion, res.PhysHops, res.RuleFirings)
+		fmt.Printf("application energy on the real network: %d units\n",
+			physLedger.Metrics().Total-before)
+	case "goroutine":
+		ledger := cost.NewLedger(cost.NewUniform(), grid.N())
+		res, err := runtime.New(h).Run(m, ledger, runtime.Config{Loss: *loss, Retries: *retries, Seed: *seed})
+		if err != nil {
+			log.Fatalf("wsnsim: %v", err)
+		}
+		if res.Final == nil {
+			fmt.Printf("labeling (goroutine engine): STALLED under loss %.2f; root coverage %d/%d cells\n",
+				*loss, res.RootCoverage, grid.N())
+			return
+		}
+		final = res.Final
+		fmt.Printf("labeling (goroutine engine): %d delivered, %d dropped, %d rule firings\n",
+			res.Delivered, res.Dropped, res.RuleFirings)
+		fmt.Printf("energy: total %d\n", ledger.Metrics().Total)
+	default:
+		log.Fatalf("wsnsim: unknown engine %q", *engine)
+	}
+
+	truth := regions.Label(m)
+	fmt.Printf("\nregions found: %d (ground truth %d)\n", final.Count(), truth.Count)
+	for _, r := range final.Regions() {
+		fmt.Printf("  region %3d: %3d cells, bbox cols %d-%d rows %d-%d\n",
+			r.Label, r.Cells, r.Box.MinCol, r.Box.MaxCol, r.Box.MinRow, r.Box.MaxRow)
+	}
+}
+
+func makeField(name string, grid *geom.Grid, seed int64) field.Field {
+	switch name {
+	case "blobs":
+		return field.RandomBlobs(4, grid.Terrain,
+			grid.Terrain.Width()/10, grid.Terrain.Width()/6, rand.New(rand.NewSource(seed+2)))
+	case "gradient":
+		return field.Gradient{DX: 1.0 / grid.Terrain.Width() * 2}
+	case "stripes":
+		return field.Stripes{Width: grid.Terrain.Width() / 4, High: 1}
+	case "solid":
+		return field.Constant{Value: 1}
+	default:
+		log.Fatalf("wsnsim: unknown field %q", name)
+		return nil
+	}
+}

@@ -1,0 +1,86 @@
+// Wildfire detection: the event-driven application regime. A fire ignites
+// and spreads across the terrain; every epoch the network runs one alarm
+// round — silent when nothing burns, with cost proportional to the number
+// of alarmed cells otherwise. When the root's quorum fires, it disseminates
+// an evacuation order to every node through the group-broadcast primitive,
+// and the final epoch renders the fire front as contour polylines (the
+// topographic output Section 3.1 motivates).
+//
+//	go run ./examples/wildfire
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wsnva/internal/contour"
+	"wsnva/internal/cost"
+	"wsnva/internal/field"
+	"wsnva/internal/geom"
+	"wsnva/internal/sim"
+	"wsnva/internal/synth"
+	"wsnva/internal/varch"
+)
+
+const (
+	side    = 8
+	quorum  = 4 // alarmed cells before the evacuation order goes out
+	ignite  = 3 // epoch at which the fire starts
+	epochs  = 8
+	hotTemp = 0.5
+)
+
+func main() {
+	grid := geom.NewSquareGrid(side, 80)
+	hier := varch.MustHierarchy(grid)
+
+	// The fire: a blob that appears at epoch `ignite` and grows.
+	fire := func(epoch int) *field.BinaryMap {
+		if epoch < ignite {
+			return field.Threshold(field.Constant{Value: 0}, grid, hotTemp, 0)
+		}
+		growth := float64(epoch-ignite+1) * 7
+		blaze := field.Blobs{Items: []field.Blob{
+			{Center: geom.Point{X: 55, Y: 25}, Sigma: growth, Peak: 1},
+		}}
+		return field.Threshold(blaze, grid, hotTemp, 0)
+	}
+
+	fmt.Printf("%-6s %-6s %-8s %-10s %-12s %-10s\n",
+		"epoch", "hot", "raised", "count", "energy", "evacuation")
+	for epoch := 0; epoch < epochs; epoch++ {
+		m := fire(epoch)
+		ledger := cost.NewLedger(cost.NewUniform(), grid.N())
+		vm := varch.NewMachine(hier, sim.New(), ledger)
+		res, err := synth.RunAlarmOnMachine(vm, m, quorum)
+		if err != nil {
+			log.Fatal(err)
+		}
+		evac := "-"
+		if res.Raised {
+			// Evacuation order: the root disseminates a 2-unit command to
+			// the whole network down the group hierarchy; every node's
+			// program acknowledges by entering the evacuating state.
+			before := ledger.Metrics().Total
+			vm.GroupBroadcast(hier.Root(), hier.Levels, 2, synth.EvacMsg{})
+			vm.Kernel().Run()
+			evac = fmt.Sprintf("%d units -> %d/%d nodes evacuating",
+				ledger.Metrics().Total-cost.Energy(before), res.EvacuatingCount(), grid.N())
+		}
+		raised := "no"
+		if res.Raised {
+			raised = fmt.Sprintf("yes@t=%d", res.RaisedAt)
+		}
+		fmt.Printf("%-6d %-6d %-8s %-10d %-12d %-10s\n",
+			epoch, m.Count(), raised, res.FinalCount, ledger.Metrics().Total, evac)
+
+		if epoch == epochs-1 {
+			fmt.Printf("\nfinal fire front (%d burning cells):\n%s", m.Count(), m)
+			loops := contour.Extract(m)
+			fmt.Printf("\nfire-front contours (%d loops, perimeter %d):\n%s",
+				len(loops), contour.Perimeter(loops), contour.Render(grid, loops))
+		}
+	}
+	fmt.Println("\nnote the pre-ignition epochs: sensing-only cost, zero communication —")
+	fmt.Println("the event-driven economy the paper contrasts with the periodic task graph.")
+}

@@ -1,0 +1,3 @@
+module wsnva
+
+go 1.22

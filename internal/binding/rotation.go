@@ -1,0 +1,87 @@
+package binding
+
+import (
+	"fmt"
+
+	"wsnva/internal/cost"
+	"wsnva/internal/geom"
+	"wsnva/internal/radio"
+)
+
+// Rotator is the managed leader-rotation service Section 5.2 sketches
+// ("Residual energy level or more sophisticated metrics could also be
+// employed ... especially if the role of leader is to be periodically
+// rotated among nodes in the cell"). It re-elects per-cell leaders on
+// residual energy, excluding the incumbents so the role actually moves,
+// and tracks how evenly leadership spreads.
+type Rotator struct {
+	med    *radio.Medium
+	grid   *geom.Grid
+	ledger *cost.Ledger
+
+	current  *Binding
+	rounds   int
+	ledCount map[int]int // node -> rotations served as leader
+}
+
+// NewRotator elects the initial binding with the paper's closest-to-center
+// metric and prepares rotation on the given ledger's residual energy.
+func NewRotator(med *radio.Medium, grid *geom.Grid, ledger *cost.Ledger) (*Rotator, error) {
+	bnd, _, err := Bind(med, grid, MinDistance{Network: med.Network(), Grid: grid})
+	if err != nil {
+		return nil, fmt.Errorf("binding: initial election: %w", err)
+	}
+	r := &Rotator{med: med, grid: grid, ledger: ledger, current: bnd, ledCount: map[int]int{}}
+	for _, id := range bnd.Leaders {
+		r.ledCount[id]++
+	}
+	return r, nil
+}
+
+// Current returns the active binding.
+func (r *Rotator) Current() *Binding { return r.current }
+
+// Rotate runs one rotation round: a fresh election on residual energy with
+// the incumbents excluded. It returns the election result.
+func (r *Rotator) Rotate() (*Result, error) {
+	excluded := make(map[int]bool, len(r.current.Leaders))
+	for _, id := range r.current.Leaders {
+		excluded[id] = true
+	}
+	metric := Excluding{Inner: MaxResidual{Ledger: r.ledger}, Excluded: excluded}
+	bnd, res, err := Bind(r.med, r.grid, metric)
+	if err != nil {
+		return res, fmt.Errorf("binding: rotation %d: %w", r.rounds+1, err)
+	}
+	r.current = bnd
+	r.rounds++
+	for _, id := range bnd.Leaders {
+		r.ledCount[id]++
+	}
+	return res, nil
+}
+
+// Rounds returns how many rotations have run.
+func (r *Rotator) Rounds() int { return r.rounds }
+
+// DistinctLeaders returns how many distinct nodes have ever held a
+// leadership role.
+func (r *Rotator) DistinctLeaders() int { return len(r.ledCount) }
+
+// Spread returns the ratio of the most- to least-burdened node among those
+// that ever led (1.0 = perfectly even rotation so far).
+func (r *Rotator) Spread() float64 {
+	minC, maxC := 0, 0
+	for _, c := range r.ledCount {
+		if minC == 0 || c < minC {
+			minC = c
+		}
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if minC == 0 {
+		return 0
+	}
+	return float64(maxC) / float64(minC)
+}

@@ -1,0 +1,276 @@
+// Package contour extracts the boundary polylines of labeled feature
+// regions — the "graphical delineation of features of interest" that
+// Section 3.1 names as the point of topographic querying. Given a binary
+// feature map (or a labeling), it traces each region's outer boundary and
+// any hole boundaries as closed loops of cell-edge segments, suitable for
+// rendering or export.
+//
+// The tracer works on cell edges: a boundary edge is an edge between a
+// feature cell and a non-feature cell (or the grid exterior). Every
+// boundary edge belongs to exactly one closed loop; loops are traced by
+// walking edges counter-clockwise around feature regions (clockwise around
+// holes), so loop orientation distinguishes outer boundaries from holes.
+package contour
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wsnva/internal/field"
+	"wsnva/internal/geom"
+	"wsnva/internal/regions"
+)
+
+// Point is a lattice corner of the grid: (X, Y) in cell units, where cell
+// (col, row) has corners (col, row) to (col+1, row+1).
+type Point struct {
+	X, Y int
+}
+
+// Loop is one closed boundary: a cyclic sequence of lattice corners, each
+// consecutive pair one axis-aligned unit apart. Vertices[0] is the
+// lexicographically smallest corner; the final vertex closes back to it
+// implicitly.
+type Loop struct {
+	Vertices []Point
+	// Outer is true for a region's outer boundary (counter-clockwise in
+	// grid coordinates with Y growing south), false for a hole.
+	Outer bool
+	// Label is the canonical region label the loop belongs to.
+	Label int
+}
+
+// Len returns the number of edges on the loop.
+func (l *Loop) Len() int { return len(l.Vertices) }
+
+// Area returns the signed area enclosed by the loop via the shoelace
+// formula, in cell units; positive for outer loops under this package's
+// orientation convention.
+func (l *Loop) Area() int {
+	n := len(l.Vertices)
+	a := 0
+	for i := 0; i < n; i++ {
+		p, q := l.Vertices[i], l.Vertices[(i+1)%n]
+		a += p.X*q.Y - q.X*p.Y
+	}
+	return a / 2
+}
+
+// edge is a directed unit edge on the corner lattice.
+type edge struct {
+	from, to Point
+}
+
+// Extract traces all boundary loops of the feature map, grouped by region
+// label. Loops come back sorted: outers before holes, then by smallest
+// vertex.
+func Extract(m *field.BinaryMap) []Loop {
+	lab := regions.Label(m)
+	g := m.Grid
+
+	// Collect directed boundary edges oriented so the feature cell lies on
+	// the inside of the travel direction: exposed edges of cell (c, r) are
+	// emitted N->E->S->W in a cycle around the cell, which makes outer
+	// loops positively oriented under the shoelace convention below (a
+	// single cell's loop has area +1; the tests pin this).
+	boundary := make(map[edge]bool)
+	ownerOf := make(map[edge]int)
+	addEdge := func(from, to Point, label int) {
+		e := edge{from, to}
+		boundary[e] = true
+		ownerOf[e] = label
+	}
+	for _, c := range g.Coords() {
+		if !m.At(c) {
+			continue
+		}
+		label := lab.Labels[g.Index(c)]
+		exposed := func(d geom.Dir) bool {
+			n := c.Step(d)
+			return !g.InBounds(n) || !m.At(n)
+		}
+		if exposed(geom.North) {
+			addEdge(Point{c.Col, c.Row}, Point{c.Col + 1, c.Row}, label)
+		}
+		if exposed(geom.East) {
+			addEdge(Point{c.Col + 1, c.Row}, Point{c.Col + 1, c.Row + 1}, label)
+		}
+		if exposed(geom.South) {
+			addEdge(Point{c.Col + 1, c.Row + 1}, Point{c.Col, c.Row + 1}, label)
+		}
+		if exposed(geom.West) {
+			addEdge(Point{c.Col, c.Row + 1}, Point{c.Col, c.Row}, label)
+		}
+	}
+
+	// Index edges by start corner for the walk. At pinch corners (two
+	// diagonal feature cells) two edges start at the same corner; since the
+	// emission order puts the region interior on the right of the travel
+	// direction, the walk picks the sharpest RIGHT turn to stay tight
+	// around its own region.
+	byStart := make(map[Point][]edge)
+	for e := range boundary {
+		byStart[e.from] = append(byStart[e.from], e)
+	}
+	for p := range byStart {
+		es := byStart[p]
+		sort.Slice(es, func(i, j int) bool {
+			return dirKey(es[i]) < dirKey(es[j])
+		})
+		byStart[p] = es
+	}
+
+	var loops []Loop
+	// Deterministic iteration: sort all edges.
+	all := make([]edge, 0, len(boundary))
+	for e := range boundary {
+		all = append(all, e)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].from != all[j].from {
+			return lessPoint(all[i].from, all[j].from)
+		}
+		return lessPoint(all[i].to, all[j].to)
+	})
+	used := make(map[edge]bool, len(all))
+	for _, start := range all {
+		if used[start] {
+			continue
+		}
+		loop := walk(start, byStart, used)
+		l := Loop{Vertices: canonicalize(loop), Label: ownerOf[start]}
+		l.Outer = l.Area() > 0
+		loops = append(loops, l)
+	}
+	sort.Slice(loops, func(i, j int) bool {
+		if loops[i].Label != loops[j].Label {
+			return loops[i].Label < loops[j].Label
+		}
+		if loops[i].Outer != loops[j].Outer {
+			return loops[i].Outer
+		}
+		return lessPoint(loops[i].Vertices[0], loops[j].Vertices[0])
+	})
+	return loops
+}
+
+// walk traces one closed loop starting from e, marking edges used.
+func walk(e edge, byStart map[Point][]edge, used map[edge]bool) []Point {
+	var pts []Point
+	cur := e
+	for {
+		used[cur] = true
+		pts = append(pts, cur.from)
+		cands := byStart[cur.to]
+		var chosen *edge
+		bestTurn := 3 // pick the sharpest right turn (minimum score)
+		for i := range cands {
+			c := cands[i]
+			if used[c] {
+				continue
+			}
+			if t := turn(cur, c); t < bestTurn {
+				bestTurn = t
+				chosen = &cands[i]
+			}
+		}
+		if chosen == nil {
+			return pts // loop closed: back at an already-used edge's start
+		}
+		cur = *chosen
+	}
+}
+
+// turn scores the turn from edge a into edge b: +1 left, 0 straight, -1
+// right (the walk minimizes this to hug the region at pinch points).
+func turn(a, b edge) int {
+	ax, ay := a.to.X-a.from.X, a.to.Y-a.from.Y
+	bx, by := b.to.X-b.from.X, b.to.Y-b.from.Y
+	cross := ax*by - ay*bx
+	switch {
+	case cross < 0:
+		return 1 // left turn in screen coordinates (Y grows south)
+	case cross == 0:
+		return 0
+	default:
+		return -1
+	}
+}
+
+func dirKey(e edge) int {
+	dx, dy := e.to.X-e.from.X, e.to.Y-e.from.Y
+	switch {
+	case dx == 1:
+		return 0
+	case dy == 1:
+		return 1
+	case dx == -1:
+		return 2
+	default:
+		return 3
+	}
+}
+
+func lessPoint(a, b Point) bool {
+	if a.Y != b.Y {
+		return a.Y < b.Y
+	}
+	return a.X < b.X
+}
+
+// canonicalize rotates the vertex cycle so it starts at the smallest point.
+func canonicalize(pts []Point) []Point {
+	best := 0
+	for i, p := range pts {
+		if lessPoint(p, pts[best]) {
+			best = i
+		}
+	}
+	out := make([]Point, 0, len(pts))
+	out = append(out, pts[best:]...)
+	out = append(out, pts[:best]...)
+	return out
+}
+
+// Perimeter returns the total outer-boundary length of all regions.
+func Perimeter(loops []Loop) int {
+	total := 0
+	for _, l := range loops {
+		if l.Outer {
+			total += l.Len()
+		}
+	}
+	return total
+}
+
+// Render draws the loops on a corner-lattice canvas: '+' at loop corners,
+// '-' and '|' along edges, '.' elsewhere. Intended for small grids.
+func Render(g *geom.Grid, loops []Loop) string {
+	w, h := 2*g.Cols+1, 2*g.Rows+1
+	canvas := make([][]byte, h)
+	for i := range canvas {
+		canvas[i] = []byte(strings.Repeat(".", w))
+	}
+	for _, l := range loops {
+		n := len(l.Vertices)
+		for i := 0; i < n; i++ {
+			p, q := l.Vertices[i], l.Vertices[(i+1)%n]
+			canvas[2*p.Y][2*p.X] = '+'
+			mx, my := p.X+q.X, p.Y+q.Y // doubled midpoint
+			if p.Y == q.Y {
+				canvas[2*p.Y][mx] = '-'
+			} else {
+				canvas[my][2*p.X] = '|'
+			}
+		}
+	}
+	var b strings.Builder
+	for _, row := range canvas {
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func (p Point) String() string { return fmt.Sprintf("(%d,%d)", p.X, p.Y) }

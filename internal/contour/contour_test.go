@@ -1,0 +1,217 @@
+package contour
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"wsnva/internal/field"
+	"wsnva/internal/geom"
+	"wsnva/internal/regions"
+)
+
+func TestSingleCell(t *testing.T) {
+	g := geom.NewSquareGrid(3, 3)
+	m := field.Parse(g, "...", ".#.", "...")
+	loops := Extract(m)
+	if len(loops) != 1 {
+		t.Fatalf("got %d loops", len(loops))
+	}
+	l := loops[0]
+	if !l.Outer || l.Len() != 4 || l.Area() != 1 {
+		t.Errorf("loop = outer:%v len:%d area:%d", l.Outer, l.Len(), l.Area())
+	}
+	if l.Vertices[0] != (Point{1, 1}) {
+		t.Errorf("canonical start = %v", l.Vertices[0])
+	}
+	if l.Label != g.Index(geom.Coord{Col: 1, Row: 1}) {
+		t.Errorf("label = %d", l.Label)
+	}
+}
+
+func TestSquareBlock(t *testing.T) {
+	g := geom.NewSquareGrid(4, 4)
+	m := field.Parse(g, "....", ".##.", ".##.", "....")
+	loops := Extract(m)
+	if len(loops) != 1 {
+		t.Fatalf("got %d loops", len(loops))
+	}
+	if loops[0].Len() != 8 || loops[0].Area() != 4 {
+		t.Errorf("len %d area %d, want 8 and 4", loops[0].Len(), loops[0].Area())
+	}
+}
+
+func TestRingHasHole(t *testing.T) {
+	g := geom.NewSquareGrid(5, 5)
+	m := field.Parse(g,
+		".....",
+		".###.",
+		".#.#.",
+		".###.",
+		".....",
+	)
+	loops := Extract(m)
+	if len(loops) != 2 {
+		t.Fatalf("ring should have 2 loops, got %d", len(loops))
+	}
+	// Sorted: outer first.
+	if !loops[0].Outer || loops[1].Outer {
+		t.Error("want one outer and one hole")
+	}
+	if loops[0].Area() != 9 {
+		t.Errorf("outer area = %d, want 9", loops[0].Area())
+	}
+	if loops[1].Area() != -1 {
+		t.Errorf("hole area = %d, want -1", loops[1].Area())
+	}
+	// Net enclosed area equals feature cell count.
+	if loops[0].Area()+loops[1].Area() != m.Count() {
+		t.Error("net area != cell count")
+	}
+	if loops[0].Label != loops[1].Label {
+		t.Error("both loops belong to the ring region")
+	}
+}
+
+func TestTwoRegions(t *testing.T) {
+	g := geom.NewSquareGrid(4, 4)
+	m := field.Parse(g, "#...", "....", "...#", "....")
+	loops := Extract(m)
+	if len(loops) != 2 {
+		t.Fatalf("got %d loops", len(loops))
+	}
+	if loops[0].Label == loops[1].Label {
+		t.Error("separate regions must carry distinct labels")
+	}
+}
+
+func TestDiagonalPinch(t *testing.T) {
+	// Two diagonal cells: separate regions sharing a corner; each loop has
+	// 4 edges and both survive the pinch.
+	g := geom.NewSquareGrid(3, 3)
+	m := field.Parse(g, "#..", ".#.", "...")
+	loops := Extract(m)
+	if len(loops) != 2 {
+		t.Fatalf("got %d loops", len(loops))
+	}
+	for _, l := range loops {
+		if l.Len() != 4 || l.Area() != 1 || !l.Outer {
+			t.Errorf("pinch loop corrupted: len %d area %d", l.Len(), l.Area())
+		}
+	}
+}
+
+// Property: for any map, the sum of signed loop areas equals the feature
+// cell count, and total edge count equals the number of exposed cell edges.
+func TestQuickAreaAndEdgeConservation(t *testing.T) {
+	f := func(seed int64, density uint8) bool {
+		g := geom.NewSquareGrid(8, 8)
+		rng := rand.New(rand.NewSource(seed))
+		bits := make([]bool, g.N())
+		d := int(density%3) + 2
+		for i := range bits {
+			bits[i] = rng.Intn(d) == 0
+		}
+		m := field.FromBits(g, bits)
+		loops := Extract(m)
+		areaSum, edgeSum := 0, 0
+		for _, l := range loops {
+			areaSum += l.Area()
+			edgeSum += l.Len()
+		}
+		if areaSum != m.Count() {
+			return false
+		}
+		exposed := 0
+		for _, c := range g.Coords() {
+			if !m.At(c) {
+				continue
+			}
+			for dir := geom.North; dir < geom.NumDirs; dir++ {
+				n := c.Step(dir)
+				if !g.InBounds(n) || !m.At(n) {
+					exposed++
+				}
+			}
+		}
+		return edgeSum == exposed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every region label in the labeling owns at least one outer loop.
+func TestQuickEveryRegionHasOuterLoop(t *testing.T) {
+	f := func(seed int64) bool {
+		g := geom.NewSquareGrid(8, 8)
+		rng := rand.New(rand.NewSource(seed))
+		bits := make([]bool, g.N())
+		for i := range bits {
+			bits[i] = rng.Intn(3) == 0
+		}
+		m := field.FromBits(g, bits)
+		lab := regions.Label(m)
+		outer := map[int]bool{}
+		for _, l := range Extract(m) {
+			if l.Outer {
+				outer[l.Label] = true
+			}
+		}
+		return len(outer) == lab.Count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLoopsAreValidPolylines(t *testing.T) {
+	g := geom.NewSquareGrid(8, 8)
+	m := field.Threshold(field.RandomBlobs(3, g.Terrain, 1.2, 2, rand.New(rand.NewSource(6))), g, 0.5, 0)
+	for _, l := range Extract(m) {
+		n := len(l.Vertices)
+		if n < 4 {
+			t.Fatalf("loop with %d vertices", n)
+		}
+		for i := 0; i < n; i++ {
+			p, q := l.Vertices[i], l.Vertices[(i+1)%n]
+			dx, dy := q.X-p.X, q.Y-p.Y
+			if dx*dx+dy*dy != 1 {
+				t.Fatalf("non-unit step %v -> %v", p, q)
+			}
+		}
+	}
+}
+
+func TestEmptyMap(t *testing.T) {
+	g := geom.NewSquareGrid(4, 4)
+	m := field.Threshold(field.Constant{Value: 0}, g, 0.5, 0)
+	if loops := Extract(m); len(loops) != 0 {
+		t.Errorf("empty map produced %d loops", len(loops))
+	}
+}
+
+func TestSolidMap(t *testing.T) {
+	g := geom.NewSquareGrid(4, 4)
+	m := field.Threshold(field.Constant{Value: 1}, g, 0.5, 0)
+	loops := Extract(m)
+	if len(loops) != 1 || loops[0].Len() != 16 || loops[0].Area() != 16 {
+		t.Errorf("solid map: %d loops, len %d, area %d", len(loops), loops[0].Len(), loops[0].Area())
+	}
+}
+
+func TestRender(t *testing.T) {
+	g := geom.NewSquareGrid(3, 3)
+	m := field.Parse(g, "...", ".#.", "...")
+	out := Render(g, Extract(m))
+	for _, want := range []string{"+-+", "|"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 7 {
+		t.Errorf("render has %d lines, want 7", len(lines))
+	}
+}

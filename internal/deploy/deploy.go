@@ -1,0 +1,450 @@
+// Package deploy models the underlying physical sensor network of Section
+// 5.1: n identical nodes placed on a square terrain of side L, each with
+// transmission range r, forming the real-network graph G_r = (V_r, E_r)
+// where (i,j) ∈ E_r iff δ(v_i, v_j) ≤ r.
+//
+// The package provides the placement generators the experiments sweep over
+// (uniform random, perturbed grid, clustered), neighbor-list construction
+// via a uniform spatial hash (O(n) expected instead of O(n²)), and the
+// connectivity predicates the paper assumes: G_r connected, every grid cell
+// occupied, and every per-cell induced subgraph connected.
+package deploy
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"wsnva/internal/geom"
+)
+
+// Node is one physical sensor node.
+type Node struct {
+	ID  int
+	Pos geom.Point
+}
+
+// Network is an immutable physical deployment plus its connectivity graph.
+type Network struct {
+	Nodes     []Node
+	Range     float64
+	Terrain   geom.Rect
+	neighbors [][]int // adjacency lists, sorted by node ID
+}
+
+// Placement generates node positions on a terrain.
+type Placement interface {
+	// Place returns n points on terrain using rng for randomness.
+	Place(n int, terrain geom.Rect, rng *rand.Rand) []geom.Point
+	// Name identifies the placement for experiment tables.
+	Name() string
+}
+
+// UniformRandom places nodes independently and uniformly at random — the
+// paper's "arbitrarily and densely deployed" default.
+type UniformRandom struct{}
+
+// Place implements Placement.
+func (UniformRandom) Place(n int, terrain geom.Rect, rng *rand.Rand) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{
+			X: terrain.MinX + rng.Float64()*terrain.Width(),
+			Y: terrain.MinY + rng.Float64()*terrain.Height(),
+		}
+	}
+	return pts
+}
+
+// Name implements Placement.
+func (UniformRandom) Name() string { return "uniform" }
+
+// PerturbedGrid places nodes on a regular √n × √n lattice jittered by a
+// fraction of the lattice pitch — a model of a planned deployment with
+// placement error. Jitter is the per-axis maximum offset as a fraction of
+// the pitch (0 = perfect lattice, 0.5 = up to half a pitch).
+type PerturbedGrid struct {
+	Jitter float64
+}
+
+// Place implements Placement. If n is not a perfect square the lattice is
+// the smallest square that fits n and the extra sites are dropped uniformly.
+func (p PerturbedGrid) Place(n int, terrain geom.Rect, rng *rand.Rand) []geom.Point {
+	side := int(math.Ceil(math.Sqrt(float64(n))))
+	pitchX := terrain.Width() / float64(side)
+	pitchY := terrain.Height() / float64(side)
+	all := make([]geom.Point, 0, side*side)
+	for row := 0; row < side; row++ {
+		for col := 0; col < side; col++ {
+			base := geom.Point{
+				X: terrain.MinX + (float64(col)+0.5)*pitchX,
+				Y: terrain.MinY + (float64(row)+0.5)*pitchY,
+			}
+			jx := (rng.Float64()*2 - 1) * p.Jitter * pitchX
+			jy := (rng.Float64()*2 - 1) * p.Jitter * pitchY
+			pt := base.Add(jx, jy)
+			pt.X = clamp(pt.X, terrain.MinX, terrain.MaxX-1e-9)
+			pt.Y = clamp(pt.Y, terrain.MinY, terrain.MaxY-1e-9)
+			all = append(all, pt)
+		}
+	}
+	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	return all[:n]
+}
+
+// Name implements Placement.
+func (p PerturbedGrid) Name() string { return fmt.Sprintf("grid-j%.2f", p.Jitter) }
+
+// Clustered places nodes around k uniformly chosen cluster centers with
+// Gaussian spread — the non-uniform deployment for which the paper notes a
+// tree virtual topology may suit better; the experiments use it to stress
+// the occupancy assumption.
+type Clustered struct {
+	Clusters int
+	Spread   float64 // std-dev as a fraction of terrain side
+}
+
+// Place implements Placement.
+func (c Clustered) Place(n int, terrain geom.Rect, rng *rand.Rand) []geom.Point {
+	k := c.Clusters
+	if k <= 0 {
+		k = 4
+	}
+	centers := UniformRandom{}.Place(k, terrain, rng)
+	sigmaX := c.Spread * terrain.Width()
+	sigmaY := c.Spread * terrain.Height()
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		ctr := centers[rng.Intn(k)]
+		pts[i] = geom.Point{
+			X: clamp(ctr.X+rng.NormFloat64()*sigmaX, terrain.MinX, terrain.MaxX-1e-9),
+			Y: clamp(ctr.Y+rng.NormFloat64()*sigmaY, terrain.MinY, terrain.MaxY-1e-9),
+		}
+	}
+	return pts
+}
+
+// Name implements Placement.
+func (c Clustered) Name() string { return fmt.Sprintf("clustered-%d", c.Clusters) }
+
+// WithHole wraps a placement and keeps nodes out of a forbidden rectangle
+// (a lake, a building, a cliff) by rejection sampling — the deployment
+// irregularity that breaks cell-occupancy assumptions in practice.
+type WithHole struct {
+	Inner Placement
+	Hole  geom.Rect
+}
+
+// Place implements Placement. Points landing in the hole are redrawn from
+// the inner placement (one candidate at a time, so any inner distribution
+// works); after too many consecutive rejections the point is placed at the
+// terrain corner farthest from the hole center rather than looping forever.
+func (w WithHole) Place(n int, terrain geom.Rect, rng *rand.Rand) []geom.Point {
+	out := make([]geom.Point, 0, n)
+	for len(out) < n {
+		batch := w.Inner.Place(n-len(out), terrain, rng)
+		for _, p := range batch {
+			if !w.Hole.Contains(p) {
+				out = append(out, p)
+			}
+		}
+		// Degenerate safeguard: a hole covering the whole terrain would
+		// loop forever; detect a fruitless full batch and bail out.
+		if len(batch) > 0 && len(out) == 0 && w.Hole.Contains(terrain.Center()) &&
+			w.Hole.Width() >= terrain.Width() && w.Hole.Height() >= terrain.Height() {
+			panic("deploy: hole covers the entire terrain")
+		}
+	}
+	return out
+}
+
+// Name implements Placement.
+func (w WithHole) Name() string { return w.Inner.Name() + "+hole" }
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// New builds a network of n nodes placed by p on terrain with transmission
+// range rng. Randomness comes from r.
+func New(n int, terrain geom.Rect, txRange float64, p Placement, r *rand.Rand) *Network {
+	if n <= 0 {
+		panic(fmt.Sprintf("deploy: need positive node count, got %d", n))
+	}
+	if txRange <= 0 {
+		panic(fmt.Sprintf("deploy: need positive range, got %v", txRange))
+	}
+	pts := p.Place(n, terrain, r)
+	nodes := make([]Node, n)
+	for i, pt := range pts {
+		nodes[i] = Node{ID: i, Pos: pt}
+	}
+	nw := &Network{Nodes: nodes, Range: txRange, Terrain: terrain}
+	nw.buildNeighbors()
+	return nw
+}
+
+// FromPoints builds a network from explicit positions, for tests and for
+// replaying recorded deployments.
+func FromPoints(pts []geom.Point, terrain geom.Rect, txRange float64) *Network {
+	nodes := make([]Node, len(pts))
+	for i, pt := range pts {
+		nodes[i] = Node{ID: i, Pos: pt}
+	}
+	nw := &Network{Nodes: nodes, Range: txRange, Terrain: terrain}
+	nw.buildNeighbors()
+	return nw
+}
+
+// buildNeighbors constructs adjacency lists with a spatial hash of bucket
+// side Range, so only the 3×3 surrounding buckets are scanned per node.
+func (nw *Network) buildNeighbors() {
+	n := len(nw.Nodes)
+	nw.neighbors = make([][]int, n)
+	if n == 0 {
+		return
+	}
+	bs := nw.Range
+	cols := int(nw.Terrain.Width()/bs) + 1
+	rows := int(nw.Terrain.Height()/bs) + 1
+	bucketOf := func(p geom.Point) (int, int) {
+		bx := int((p.X - nw.Terrain.MinX) / bs)
+		by := int((p.Y - nw.Terrain.MinY) / bs)
+		if bx >= cols {
+			bx = cols - 1
+		}
+		if by >= rows {
+			by = rows - 1
+		}
+		if bx < 0 {
+			bx = 0
+		}
+		if by < 0 {
+			by = 0
+		}
+		return bx, by
+	}
+	buckets := make([][]int, cols*rows)
+	for i, nd := range nw.Nodes {
+		bx, by := bucketOf(nd.Pos)
+		buckets[by*cols+bx] = append(buckets[by*cols+bx], i)
+	}
+	r2 := nw.Range * nw.Range
+	for i, nd := range nw.Nodes {
+		bx, by := bucketOf(nd.Pos)
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				nx, ny := bx+dx, by+dy
+				if nx < 0 || nx >= cols || ny < 0 || ny >= rows {
+					continue
+				}
+				for _, j := range buckets[ny*cols+nx] {
+					if j != i && nd.Pos.Dist2(nw.Nodes[j].Pos) <= r2 {
+						nw.neighbors[i] = append(nw.neighbors[i], j)
+					}
+				}
+			}
+		}
+	}
+	// Sorted adjacency keeps iteration order deterministic across runs.
+	for i := range nw.neighbors {
+		insertionSort(nw.neighbors[i])
+	}
+}
+
+func insertionSort(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// N returns the number of nodes.
+func (nw *Network) N() int { return len(nw.Nodes) }
+
+// Neighbors returns the sorted IDs of nodes within range of node id (the
+// NBR_i of Section 5.1). The caller must not modify the returned slice.
+func (nw *Network) Neighbors(id int) []int { return nw.neighbors[id] }
+
+// Degree returns the number of neighbors of node id.
+func (nw *Network) Degree(id int) int { return len(nw.neighbors[id]) }
+
+// AvgDegree returns the mean node degree, a standard density summary.
+func (nw *Network) AvgDegree() float64 {
+	total := 0
+	for _, nbrs := range nw.neighbors {
+		total += len(nbrs)
+	}
+	return float64(total) / float64(len(nw.Nodes))
+}
+
+// Connected reports whether G_r is connected (the paper's standing
+// assumption).
+func (nw *Network) Connected() bool {
+	if len(nw.Nodes) == 0 {
+		return true
+	}
+	return nw.componentSize(0, nil) == len(nw.Nodes)
+}
+
+// componentSize returns the size of the component containing start,
+// restricted to the member set if member != nil.
+func (nw *Network) componentSize(start int, member map[int]bool) int {
+	visited := map[int]bool{start: true}
+	queue := []int{start}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range nw.neighbors[v] {
+			if member != nil && !member[u] {
+				continue
+			}
+			if !visited[u] {
+				visited[u] = true
+				queue = append(queue, u)
+			}
+		}
+	}
+	return len(visited)
+}
+
+// CellMembers returns, for each grid cell, the IDs of nodes inside it —
+// the EMUL(i,j) sets of Section 5.1.
+func (nw *Network) CellMembers(g *geom.Grid) [][]int {
+	members := make([][]int, g.N())
+	for i, nd := range nw.Nodes {
+		idx := g.Index(g.CellOf(nd.Pos))
+		members[idx] = append(members[idx], i)
+	}
+	return members
+}
+
+// OccupancyOK reports whether every cell of g holds at least one node —
+// the coverage precondition for topology emulation.
+func (nw *Network) OccupancyOK(g *geom.Grid) bool {
+	for _, m := range nw.CellMembers(g) {
+		if len(m) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// CellsConnected reports whether the subgraph induced by each cell's
+// members is connected — the paper's assumption on EMUL(i,j). Empty cells
+// fail (they violate occupancy first).
+func (nw *Network) CellsConnected(g *geom.Grid) bool {
+	for _, m := range nw.CellMembers(g) {
+		if len(m) == 0 {
+			return false
+		}
+		member := make(map[int]bool, len(m))
+		for _, id := range m {
+			member[id] = true
+		}
+		if nw.componentSize(m[0], member) != len(m) {
+			return false
+		}
+	}
+	return true
+}
+
+// AdjacentCellsLinked reports whether every pair of 4-adjacent cells of g
+// is joined by at least one direct radio edge. The Section 5.1 emulation
+// protocol needs this: forwarding paths stay inside a cell until a node
+// with a direct cross-boundary neighbor hands the message over, so a cell
+// pair with no direct edge is unroutable no matter how connected G_r is.
+func (nw *Network) AdjacentCellsLinked(g *geom.Grid) bool {
+	members := nw.CellMembers(g)
+	cellIdx := make([]int, nw.N())
+	for idx, m := range members {
+		for _, id := range m {
+			cellIdx[id] = idx
+		}
+	}
+	linked := make(map[[2]int]bool)
+	for id := range nw.Nodes {
+		for _, nbr := range nw.neighbors[id] {
+			a, b := cellIdx[id], cellIdx[nbr]
+			if a != b {
+				linked[[2]int{a, b}] = true
+			}
+		}
+	}
+	for _, c := range g.Coords() {
+		idx := g.Index(c)
+		for d := geom.North; d < geom.NumDirs; d++ {
+			adj := c.Step(d)
+			if !g.InBounds(adj) {
+				continue
+			}
+			if !linked[[2]int{idx, g.Index(adj)}] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MaxIntraCellPathLen returns the maximum, over all cells, of the longest
+// shortest-path (in hops, within the cell-induced subgraph) between any
+// pair of nodes in the same cell. Section 5.1 claims setup latency is
+// proportional to this quantity; experiment E5 verifies it. Cells must be
+// connected.
+func (nw *Network) MaxIntraCellPathLen(g *geom.Grid) int {
+	maxLen := 0
+	for _, m := range nw.CellMembers(g) {
+		if len(m) <= 1 {
+			continue
+		}
+		member := make(map[int]bool, len(m))
+		for _, id := range m {
+			member[id] = true
+		}
+		for _, src := range m {
+			dist := map[int]int{src: 0}
+			queue := []int{src}
+			for len(queue) > 0 {
+				v := queue[0]
+				queue = queue[1:]
+				for _, u := range nw.neighbors[v] {
+					if !member[u] {
+						continue
+					}
+					if _, seen := dist[u]; !seen {
+						dist[u] = dist[v] + 1
+						if dist[u] > maxLen {
+							maxLen = dist[u]
+						}
+						queue = append(queue, u)
+					}
+				}
+			}
+		}
+	}
+	return maxLen
+}
+
+// Generate builds deployments until one satisfies the paper's assumptions
+// for grid g (connected G_r, all cells occupied, all cell subgraphs
+// connected, every adjacent cell pair directly linked), trying up to
+// attempts seeds derived from r. It returns the network and the number of
+// attempts used, or an error if none qualified. Dense deployments
+// (n >> N, r ≥ c·√2) almost always succeed first try.
+func Generate(n int, g *geom.Grid, txRange float64, p Placement, r *rand.Rand, attempts int) (*Network, int, error) {
+	for a := 1; a <= attempts; a++ {
+		nw := New(n, g.Terrain, txRange, p, r)
+		if nw.Connected() && nw.CellsConnected(g) && nw.AdjacentCellsLinked(g) {
+			return nw, a, nil
+		}
+	}
+	return nil, attempts, fmt.Errorf("deploy: no valid deployment in %d attempts (n=%d, grid=%dx%d, range=%v, placement=%s)",
+		attempts, n, g.Cols, g.Rows, txRange, p.Name())
+}

@@ -1,0 +1,277 @@
+// Package emul is the runtime system assembled: it executes synthesized
+// programs over the *physical* network, with every virtual-architecture
+// primitive implemented by the Section 5 protocols — topology emulation
+// (vtopo) carries messages cell to cell, and the elected per-cell leaders
+// (binding) are the physical processors of the virtual processes. Where
+// varch.Machine is the abstract machine the algorithm designer reasons on,
+// emul.Machine is the thing that actually runs in the field; experiment
+// E16 runs the same application on both and compares the bills, which is
+// the whole-application version of the paper's analysis-to-measurement
+// correspondence promise.
+package emul
+
+import (
+	"fmt"
+
+	"wsnva/internal/binding"
+	"wsnva/internal/cost"
+	"wsnva/internal/field"
+	"wsnva/internal/geom"
+	"wsnva/internal/program"
+	"wsnva/internal/radio"
+	"wsnva/internal/regions"
+	"wsnva/internal/routing"
+	"wsnva/internal/sim"
+	"wsnva/internal/synth"
+	"wsnva/internal/varch"
+	"wsnva/internal/vtopo"
+)
+
+// Machine executes virtual processes on their bound physical nodes.
+type Machine struct {
+	hier  *varch.Hierarchy
+	proto *vtopo.Protocol
+	bnd   *binding.Binding
+	med   *radio.Medium
+
+	// intra-cell routing: next-hop tables toward each cell's leader,
+	// computed over the cell-induced subgraphs (the same local knowledge
+	// the Section 5.2 election already spread through each cell).
+	toLeader map[int]int // node -> next hop toward its own cell's leader
+
+	handlers map[geom.Coord]varch.Handler
+	msgs     int64
+	physHops int64
+}
+
+// appMsg is the on-air payload for application traffic: the virtual
+// message plus its virtual destination, so the entering node of the
+// destination cell can finish the intra-cell leg.
+type appMsg struct {
+	to  geom.Coord
+	msg varch.Message
+}
+
+// New assembles the physical machine from an emulated topology and a
+// binding. The vtopo protocol must have Run() to completion; the binding
+// must come from the same medium.
+func New(h *varch.Hierarchy, proto *vtopo.Protocol, bnd *binding.Binding, med *radio.Medium) (*Machine, error) {
+	m := &Machine{
+		hier:     h,
+		proto:    proto,
+		bnd:      bnd,
+		med:      med,
+		toLeader: make(map[int]int),
+		handlers: make(map[geom.Coord]varch.Handler),
+	}
+	// Build intra-cell next hops toward each leader with a BFS over the
+	// cell-induced subgraph (every cell is connected by deployment
+	// precondition).
+	nw := med.Network()
+	members := nw.CellMembers(h.Grid)
+	for idx, cellNodes := range members {
+		cell := h.Grid.CoordOf(idx)
+		leader, ok := bnd.Leaders[cell]
+		if !ok {
+			return nil, fmt.Errorf("emul: cell %v has no bound leader", cell)
+		}
+		inCell := make(map[int]bool, len(cellNodes))
+		for _, id := range cellNodes {
+			inCell[id] = true
+		}
+		// BFS from the leader; parent pointers are the next hops toward it.
+		visited := map[int]bool{leader: true}
+		queue := []int{leader}
+		m.toLeader[leader] = leader
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, u := range nw.Neighbors(v) {
+				if inCell[u] && !visited[u] {
+					visited[u] = true
+					m.toLeader[u] = v
+					queue = append(queue, u)
+				}
+			}
+		}
+		if len(visited) != len(cellNodes) {
+			return nil, fmt.Errorf("emul: cell %v subgraph disconnected", cell)
+		}
+	}
+	// Install the application's radio handler on every node: forward
+	// toward the destination cell, then toward its leader, then deliver.
+	for id := 0; id < nw.N(); id++ {
+		id := id
+		med.Handle(id, func(pkt radio.Packet) { m.onPacket(id, pkt) })
+	}
+	return m, nil
+}
+
+// Handle installs the virtual node handler; it runs on the cell's elected
+// leader.
+func (m *Machine) Handle(c geom.Coord, h varch.Handler) { m.handlers[c] = h }
+
+// Kernel returns the simulation kernel (shared with the medium).
+func (m *Machine) Kernel() *sim.Kernel { return m.med.Kernel() }
+
+// Send moves a virtual message between virtual nodes over the physical
+// network: the source cell's leader forwards it along the emulated grid
+// route; the first node reached in the destination cell relays it up the
+// intra-cell tree to the destination leader, which runs the handler.
+func (m *Machine) Send(from, to geom.Coord, size int64, payload any) {
+	src, ok := m.bnd.Leaders[from]
+	if !ok {
+		panic(fmt.Sprintf("emul: no leader bound for %v", from))
+	}
+	m.msgs++
+	env := appMsg{to: to, msg: varch.Message{From: from, Size: size, Payload: payload}}
+	if from == to {
+		// Self-delivery, like the virtual machine: free and immediate.
+		m.med.Kernel().After(0, func() { m.dispatch(src, env) })
+		return
+	}
+	m.forward(src, env)
+}
+
+// SendToLeader implements the group-communication primitive.
+func (m *Machine) SendToLeader(from geom.Coord, level int, size int64, payload any) {
+	m.Send(from, m.hier.LeaderAt(from, level), size, payload)
+}
+
+// forward advances the message one physical hop from node id and schedules
+// the continuation at the receiving node.
+func (m *Machine) forward(id int, env appMsg) {
+	myCell := m.proto.CellOf(id)
+	var next int
+	if myCell == env.to {
+		// Intra-cell leg toward the leader.
+		next = m.toLeader[id]
+		if next == id {
+			m.dispatch(id, env)
+			return
+		}
+	} else {
+		dir, _ := routing.NextHopXY(myCell, env.to)
+		hop, err := m.proto.ForwardPath(id, dir)
+		if err != nil {
+			panic(fmt.Sprintf("emul: routing failed at node %d: %v", id, err))
+		}
+		next = hop[0]
+	}
+	m.physHops++
+	m.med.Unicast(id, next, env.msg.Size, env)
+}
+
+// onPacket receives application traffic at a physical node.
+func (m *Machine) onPacket(id int, pkt radio.Packet) {
+	env, ok := pkt.Payload.(appMsg)
+	if !ok {
+		return
+	}
+	m.forward(id, env)
+}
+
+// dispatch hands a message to the destination virtual node's handler.
+func (m *Machine) dispatch(id int, env appMsg) {
+	if m.bnd.Leaders[env.to] != id {
+		panic(fmt.Sprintf("emul: message for %v dispatched at node %d, not its leader", env.to, id))
+	}
+	if h := m.handlers[env.to]; h != nil {
+		h(env.msg)
+	}
+}
+
+// Compute charges the virtual node's physical executor.
+func (m *Machine) Compute(c geom.Coord, units int64) {
+	m.med.Ledger().Charge(m.bnd.Leaders[c], cost.Compute, units)
+}
+
+// Sense charges the executor for one sample.
+func (m *Machine) Sense(c geom.Coord, units int64) {
+	m.med.Ledger().Charge(m.bnd.Leaders[c], cost.Sense, units)
+}
+
+// Stats returns application messages injected and physical hops traversed.
+func (m *Machine) Stats() (msgs, physHops int64) { return m.msgs, m.physHops }
+
+// Result mirrors synth.Result for the physical run.
+type Result struct {
+	// Final is the exfiltrated summary for labeling runs; generic programs
+	// deliver whatever they exfiltrate through Exfiltrated.
+	Final       *regions.Summary
+	Exfiltrated any
+	Completion  sim.Time
+	RuleFirings int64
+	PhysHops    int64
+}
+
+// emulFx adapts the physical machine to program.Effector for one node.
+type emulFx struct {
+	m     *Machine
+	coord geom.Coord
+	out   *Result
+}
+
+func (f *emulFx) Send(level int, size int64, payload any) {
+	f.m.SendToLeader(f.coord, level, size, payload)
+}
+func (f *emulFx) Exfiltrate(result any) {
+	if f.out.Exfiltrated == nil {
+		f.out.Exfiltrated = result
+		f.out.Completion = f.m.Kernel().Now()
+		if s, ok := result.(*regions.Summary); ok {
+			f.out.Final = s
+		}
+	}
+}
+func (f *emulFx) Compute(units int64) { f.m.Compute(f.coord, units) }
+func (f *emulFx) Sense(units int64)   { f.m.Sense(f.coord, units) }
+
+const maxQuiescenceSteps = 1 << 16
+
+// RunLabeling executes one synthesized labeling round entirely over the
+// physical network and returns the result. The map's grid must match the
+// hierarchy's.
+func (m *Machine) RunLabeling(fmap *field.BinaryMap) (*Result, error) {
+	if fmap.Grid != m.hier.Grid {
+		return nil, fmt.Errorf("emul: map grid and hierarchy grid differ")
+	}
+	res, _, err := m.RunProgram(func(c geom.Coord) *program.Spec {
+		return synth.LabelingProgram(synth.Config{Hier: m.hier, Coord: c, Sense: synth.SenseFromMap(fmap, c)})
+	})
+	if err != nil {
+		return nil, err
+	}
+	if res.Final == nil {
+		return nil, fmt.Errorf("emul: round did not complete")
+	}
+	return res, nil
+}
+
+// RunProgram executes one round of an arbitrary synthesized program set on
+// the physical network and returns the result plus each virtual node's
+// final environment (grid-index order) for programs that publish state
+// instead of exfiltrating.
+func (m *Machine) RunProgram(factory func(c geom.Coord) *program.Spec) (*Result, []*program.Env, error) {
+	res := &Result{}
+	insts := make([]*program.Instance, 0, m.hier.Grid.N())
+	for _, c := range m.hier.Grid.Coords() {
+		fx := &emulFx{m: m, coord: c, out: res}
+		inst := program.NewInstance(factory(c), fx)
+		insts = append(insts, inst)
+		m.Handle(c, func(msg varch.Message) {
+			inst.OnMessage(msg.Payload, maxQuiescenceSteps)
+		})
+	}
+	for _, inst := range insts {
+		inst.RunToQuiescence(maxQuiescenceSteps)
+	}
+	m.Kernel().Run()
+	envs := make([]*program.Env, len(insts))
+	for i, inst := range insts {
+		res.RuleFirings += inst.Fired()
+		envs[i] = inst.Env
+	}
+	res.PhysHops = m.physHops
+	return res, envs, nil
+}

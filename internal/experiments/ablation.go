@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wsnva/internal/baseline"
+	"wsnva/internal/cost"
+	"wsnva/internal/field"
+	"wsnva/internal/geom"
+	"wsnva/internal/mapping"
+	"wsnva/internal/sim"
+	"wsnva/internal/stats"
+	"wsnva/internal/synth"
+	"wsnva/internal/taskgraph"
+	"wsnva/internal/varch"
+)
+
+// A1MappingAblation is the mapper ablation DESIGN.md calls out: the paper's
+// quadrant-recursive mapping against the centroid variant, random interior
+// placement, and local search started from random — evaluated analytically
+// on one round of the quad-tree (Section 4.2's role-assignment comparison).
+func A1MappingAblation(o Options) *stats.Table {
+	tab := stats.NewTable("A1: mapper ablation (one quad-tree round, analytical)",
+		"side", "mapper", "total energy", "latency", "max node energy", "balance")
+	model := cost.NewUniform()
+	for _, side := range sides(o, 8, 16, 32) {
+		tree := taskgraph.QuadTree(geom.Log2(side), 1)
+		grid := geom.NewSquareGrid(side, float64(side))
+		rng := rand.New(rand.NewSource(71))
+		random := mapping.RandomMapping(tree, grid, rng)
+		mappers := []struct {
+			name string
+			a    *mapping.Assignment
+		}{
+			{"paper", mapping.PaperMapping(tree, grid)},
+			{"centroid", mapping.CentroidMapping(tree, grid)},
+			{"random", random},
+			{"random+ls", mapping.LocalSearch(tree, random, model, 8)},
+		}
+		for _, m := range mappers {
+			st := mapping.Evaluate(tree, m.a, model)
+			tab.AddRow(side, m.name, int64(st.TotalEnergy), int64(st.Latency),
+				int64(st.MaxNodeEnergy), st.Balance)
+		}
+	}
+	return tab
+}
+
+// A2FieldShapes measures how the workload's region structure drives the
+// divide-and-conquer algorithm's cost: boundary-heavy fields (stripes)
+// versus compact blobs versus solid coverage, at a fixed grid size. This is
+// the data-dependence the paper's data-driven-computation discussion
+// (Section 1) predicts.
+func A2FieldShapes(o Options) *stats.Table {
+	side := 16
+	if o.Quick {
+		side = 8
+	}
+	g := geom.NewSquareGrid(side, float64(side))
+	workloads := []struct {
+		name string
+		m    *field.BinaryMap
+	}{
+		{"empty", field.Threshold(field.Constant{Value: 0}, g, 0.5, 0)},
+		{"blobs", blobMapFor(side, 101)},
+		{"gradient", field.Threshold(field.Gradient{DX: 1}, g, float64(side)/2, 0)},
+		{"stripes", field.Threshold(field.Stripes{Width: 2, High: 1}, g, 0.5, 0)},
+		{"solid", field.Threshold(field.Constant{Value: 1}, g, 0.5, 0)},
+	}
+	tab := stats.NewTable("A2: workload shape vs divide-and-conquer cost",
+		"field", "feature cells", "regions", "dc energy", "dc latency", "root summary units")
+	for _, w := range workloads {
+		res, l := runDES(w.m)
+		tab.AddRow(w.name, w.m.Count(), res.Final.Count(),
+			int64(l.Metrics().Total), int64(res.Completion), res.Final.Size())
+	}
+	return tab
+}
+
+// A3CostSensitivity exercises the Section 3.2 escape hatch — "a different
+// set of cost functions can be used if the characteristics of the
+// deployment necessitate it" — by re-running the E3 comparison under
+// radios with different energy profiles. The D&C-vs-centralized energy
+// ratio must survive every profile (the decision is structural, driven by
+// data volume × distance), while absolute numbers shift.
+func A3CostSensitivity(o Options) *stats.Table {
+	side := 16
+	if o.Quick {
+		side = 8
+	}
+	profiles := []struct {
+		name  string
+		model func() *cost.Model
+	}{
+		{"uniform (paper)", cost.NewUniform},
+		{"tx-heavy 3:1", func() *cost.Model {
+			m := cost.NewUniform()
+			m.EnergyPerUnit[cost.Tx] = 3
+			return m
+		}},
+		{"rx-heavy 1:2", func() *cost.Model {
+			m := cost.NewUniform()
+			m.EnergyPerUnit[cost.Rx] = 2
+			return m
+		}},
+		{"cheap compute", func() *cost.Model {
+			m := cost.NewUniform()
+			m.EnergyPerUnit[cost.Compute] = 0
+			m.ProcSpeed = 8
+			return m
+		}},
+		{"slow radio b=4", func() *cost.Model {
+			m := cost.NewUniform()
+			m.Bandwidth = 4 // 4 units per latency tick: faster transfers
+			return m
+		}},
+	}
+	tab := stats.NewTable(fmt.Sprintf("A3: cost-model sensitivity (%dx%d grid, blob workload)", side, side),
+		"profile", "dc energy", "central energy", "energy ratio", "dc latency", "central latency", "winner")
+	for _, p := range profiles {
+		m := blobMapFor(side, 101)
+		model := p.model()
+		if err := model.Validate(); err != nil {
+			panic(err)
+		}
+		h := varch.MustHierarchy(m.Grid)
+		lDC := cost.NewLedger(model, m.Grid.N())
+		vm := varch.NewMachine(h, sim.New(), lDC)
+		resDC, err := synth.RunOnMachine(vm, m)
+		if err != nil {
+			panic(err)
+		}
+		lBase := cost.NewLedger(model, m.Grid.N())
+		_, st := baseline.Run(lBase, m, geom.Coord{})
+		winner := "central"
+		if int64(lDC.Metrics().Total) < int64(st.TotalEnergy) {
+			winner = "d&c"
+		}
+		tab.AddRow(p.name,
+			int64(lDC.Metrics().Total), int64(st.TotalEnergy),
+			stats.Ratio(float64(st.TotalEnergy), float64(lDC.Metrics().Total)),
+			int64(resDC.Completion), int64(st.Latency), winner)
+	}
+	return tab
+}

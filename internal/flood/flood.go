@@ -1,0 +1,91 @@
+// Package flood implements network-wide flooding with duplicate
+// suppression — the classic dissemination baseline every structured scheme
+// (tree dissemination, grid routing) is weighed against, and the natural
+// way to inject a query into a network that has no infrastructure yet.
+// Each node forwards a flooded payload exactly once; the flood reaches the
+// sender's whole connected component at the cost of one broadcast per node.
+package flood
+
+import (
+	"wsnva/internal/radio"
+	"wsnva/internal/sim"
+)
+
+// floodMsg is the flooded payload with its identifying sequence number.
+type floodMsg struct {
+	seq     int64
+	payload any
+}
+
+// Flooder runs floods over one medium.
+type Flooder struct {
+	med     *radio.Medium
+	seen    []int64 // highest sequence forwarded per node (-1 none)
+	nextSeq int64
+
+	forwards int64
+	ignored  int64 // duplicate receptions suppressed
+	reached  int
+	// Deliver, if set, fires once per node per flood on first reception.
+	Deliver func(node int, payload any)
+}
+
+// New prepares a flooder and installs its handlers on every node.
+func New(med *radio.Medium) *Flooder {
+	n := med.Network().N()
+	f := &Flooder{med: med, seen: make([]int64, n)}
+	for i := range f.seen {
+		f.seen[i] = -1
+	}
+	for id := 0; id < n; id++ {
+		id := id
+		med.Handle(id, func(pkt radio.Packet) { f.onPacket(id, pkt) })
+	}
+	return f
+}
+
+func (f *Flooder) onPacket(id int, pkt radio.Packet) {
+	msg, ok := pkt.Payload.(floodMsg)
+	if !ok {
+		return
+	}
+	if f.seen[id] >= msg.seq {
+		f.ignored++
+		return
+	}
+	f.seen[id] = msg.seq
+	f.reached++
+	if f.Deliver != nil {
+		f.Deliver(id, msg.payload)
+	}
+	f.forwards++
+	f.med.Broadcast(id, pkt.Size, msg)
+}
+
+// Metrics summarizes one flood.
+type Metrics struct {
+	Forwards int64 // broadcasts performed (origin + one per reached node)
+	Ignored  int64 // duplicate receptions suppressed
+	Reached  int   // nodes that received the payload (origin excluded)
+	Latency  sim.Time
+}
+
+// Flood disseminates a payload of the given size from origin and runs the
+// kernel to quiescence. Each flood uses a fresh sequence number, so
+// repeated floods through the same Flooder work.
+func (f *Flooder) Flood(origin int, size int64, payload any) Metrics {
+	start := f.med.Kernel().Now()
+	baseF, baseI, baseR := f.forwards, f.ignored, f.reached
+	seq := f.nextSeq
+	f.nextSeq++
+	f.seen[origin] = seq
+	f.forwards++
+	f.med.Broadcast(origin, size, floodMsg{seq: seq, payload: payload})
+	f.med.Kernel().Run()
+	return Metrics{
+		Forwards: f.forwards - baseF,
+		Ignored:  f.ignored - baseI,
+		Reached:  f.reached - baseR,
+		Latency:  f.med.Kernel().Now() - start,
+	}
+}

@@ -1,0 +1,93 @@
+package flood
+
+import (
+	"math/rand"
+	"testing"
+
+	"wsnva/internal/cost"
+	"wsnva/internal/deploy"
+	"wsnva/internal/geom"
+	"wsnva/internal/radio"
+	"wsnva/internal/sim"
+)
+
+func medium(t *testing.T, n int, seed int64) (*deploy.Network, *radio.Medium, *cost.Ledger) {
+	t.Helper()
+	terrain := geom.Rect{MaxX: 60, MaxY: 60}
+	for s := seed; s < seed+50; s++ {
+		nw := deploy.New(n, terrain, 12, deploy.UniformRandom{}, rand.New(rand.NewSource(s)))
+		if nw.Connected() {
+			l := cost.NewLedger(cost.NewUniform(), nw.N())
+			return nw, radio.NewMedium(nw, sim.New(), l, rand.New(rand.NewSource(s+99)), radio.Config{}), l
+		}
+	}
+	t.Fatal("no connected deployment")
+	return nil, nil, nil
+}
+
+func TestFloodReachesEveryone(t *testing.T) {
+	nw, med, _ := medium(t, 150, 1)
+	f := New(med)
+	got := map[int]bool{}
+	f.Deliver = func(node int, payload any) {
+		if payload.(string) != "q" {
+			t.Errorf("payload corrupted at %d", node)
+		}
+		if got[node] {
+			t.Errorf("node %d delivered twice", node)
+		}
+		got[node] = true
+	}
+	m := f.Flood(0, 2, "q")
+	if m.Reached != nw.N()-1 {
+		t.Errorf("reached %d, want %d", m.Reached, nw.N()-1)
+	}
+	// One forward per node (origin included).
+	if m.Forwards != int64(nw.N()) {
+		t.Errorf("forwards = %d, want %d", m.Forwards, nw.N())
+	}
+	if m.Ignored == 0 {
+		t.Error("dense network must suppress duplicates")
+	}
+	if m.Latency <= 0 {
+		t.Error("flood takes time")
+	}
+}
+
+func TestRepeatedFloods(t *testing.T) {
+	nw, med, _ := medium(t, 100, 3)
+	f := New(med)
+	for i := 0; i < 3; i++ {
+		m := f.Flood(i*7%nw.N(), 1, i)
+		if m.Reached != nw.N()-1 {
+			t.Fatalf("flood %d reached %d of %d", i, m.Reached, nw.N()-1)
+		}
+	}
+}
+
+func TestFloodPartitioned(t *testing.T) {
+	pts := []geom.Point{{X: 1, Y: 1}, {X: 2, Y: 1}, {X: 50, Y: 50}}
+	nw := deploy.FromPoints(pts, geom.Rect{MaxX: 60, MaxY: 60}, 3)
+	l := cost.NewLedger(cost.NewUniform(), nw.N())
+	med := radio.NewMedium(nw, sim.New(), l, rand.New(rand.NewSource(1)), radio.Config{})
+	f := New(med)
+	m := f.Flood(0, 1, nil)
+	if m.Reached != 1 {
+		t.Errorf("reached %d, want only the in-component node", m.Reached)
+	}
+}
+
+func TestFloodCostScalesWithN(t *testing.T) {
+	// Flood energy is Theta(n * degree); it must grow superlinearly vs a
+	// single unicast path, which is what makes structured topologies pay.
+	_, medSmall, lSmall := medium(t, 60, 5)
+	New(medSmall).Flood(0, 1, nil)
+	small := lSmall.Metrics().Total
+
+	_, medBig, lBig := medium(t, 240, 7)
+	New(medBig).Flood(0, 1, nil)
+	big := lBig.Metrics().Total
+	if big < 4*small {
+		t.Errorf("flood energy %d -> %d did not scale with density and size", small, big)
+	}
+}

@@ -1,0 +1,36 @@
+package geom
+
+import "fmt"
+
+// Morton (Z-order) indexing of a 2^m × 2^m grid with quadrant order
+// NW, NE, SW, SE. This is the labeling of paper Figure 3: the 4×4 grid's
+// cells are numbered 0..15 quadrant-recursively, so the NW corners of the
+// four level-1 quadrants carry indices 0, 4, 8, and 12 — the cells the
+// paper maps the level-1 quad-tree nodes to.
+
+// MortonIndex returns the Z-order index of c on a 2^m × 2^m grid. The grid
+// side is implied by the coordinate values; callers validate bounds.
+func MortonIndex(c Coord) int {
+	if c.Col < 0 || c.Row < 0 {
+		panic(fmt.Sprintf("geom: negative coordinate %v", c))
+	}
+	idx := 0
+	for bit := 0; bit < 31; bit++ {
+		idx |= (c.Col >> bit & 1) << (2 * bit)
+		idx |= (c.Row >> bit & 1) << (2*bit + 1)
+	}
+	return idx
+}
+
+// MortonCoord is the inverse of MortonIndex.
+func MortonCoord(idx int) Coord {
+	if idx < 0 {
+		panic(fmt.Sprintf("geom: negative Morton index %d", idx))
+	}
+	var c Coord
+	for bit := 0; bit < 31; bit++ {
+		c.Col |= (idx >> (2 * bit) & 1) << bit
+		c.Row |= (idx >> (2*bit + 1) & 1) << bit
+	}
+	return c
+}

@@ -1,0 +1,94 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMortonRoundTripQuick(t *testing.T) {
+	f := func(colRaw, rowRaw uint16) bool {
+		c := Coord{Col: int(colRaw) & 0x7fff, Row: int(rowRaw) & 0x7fff}
+		return MortonCoord(MortonIndex(c)) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// The quadrant-recursive structure: the top two bits of a 2^m-grid Morton
+// index select the quadrant in NW(0), NE(1), SW(2), SE(3) order.
+func TestMortonQuadrantOrder(t *testing.T) {
+	const side = 8
+	for col := 0; col < side; col++ {
+		for row := 0; row < side; row++ {
+			idx := MortonIndex(Coord{Col: col, Row: row})
+			quad := idx / (side * side / 4)
+			wantQuad := 0
+			if col >= side/2 {
+				wantQuad |= 1
+			}
+			if row >= side/2 {
+				wantQuad |= 2
+			}
+			if quad != wantQuad {
+				t.Fatalf("(%d,%d): Morton %d in quadrant %d, want %d", col, row, idx, quad, wantQuad)
+			}
+		}
+	}
+}
+
+// Morton indexing is a bijection onto [0, side^2) for power-of-two grids.
+func TestMortonBijection(t *testing.T) {
+	const side = 16
+	seen := make([]bool, side*side)
+	for col := 0; col < side; col++ {
+		for row := 0; row < side; row++ {
+			idx := MortonIndex(Coord{Col: col, Row: row})
+			if idx < 0 || idx >= side*side {
+				t.Fatalf("(%d,%d): Morton %d out of range", col, row, idx)
+			}
+			if seen[idx] {
+				t.Fatalf("Morton %d assigned twice", idx)
+			}
+			seen[idx] = true
+		}
+	}
+}
+
+// Consecutive Morton indices within a 2x2 block are the block itself: index
+// pairs (4k..4k+3) always form one aligned 2x2 square — the locality the
+// quadrant mapping relies on.
+func TestMortonBlockLocality(t *testing.T) {
+	for k := 0; k < 256; k++ {
+		base := MortonCoord(4 * k)
+		if base.Col%2 != 0 || base.Row%2 != 0 {
+			t.Fatalf("block %d base %v not 2-aligned", k, base)
+		}
+		want := map[Coord]bool{
+			base: true, {base.Col + 1, base.Row}: true,
+			{base.Col, base.Row + 1}: true, {base.Col + 1, base.Row + 1}: true,
+		}
+		for off := 0; off < 4; off++ {
+			c := MortonCoord(4*k + off)
+			if !want[c] {
+				t.Fatalf("index %d at %v escapes block of %v", 4*k+off, c, base)
+			}
+		}
+	}
+}
+
+func TestMortonPanicsOnNegative(t *testing.T) {
+	for name, f := range map[string]func(){
+		"coord": func() { MortonIndex(Coord{Col: -1, Row: 0}) },
+		"index": func() { MortonCoord(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

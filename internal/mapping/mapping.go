@@ -1,0 +1,290 @@
+// Package mapping implements role assignment (Section 4.2): placing the
+// tasks of an application graph onto nodes of the virtual topology subject
+// to the paper's two design-time constraints —
+//
+//   - coverage: each sensing (leaf) task maps to a distinct virtual node,
+//     so every point of coverage is sampled; and
+//   - spatial correlation: all children of a given task oversee a single
+//     contiguous geographic extent, so boundary merging compresses well.
+//
+// The paper's own mapping is quadrant-recursive: quad-tree leaf i goes to
+// the cell with Morton index i, and each interior task goes to the
+// north-west corner of its quadrant — the level-k leader of the group
+// middleware. PaperMapping reproduces it exactly (root at cell 0; level-1
+// tasks at cells 0, 4, 8, 12 of Figure 3). Alternative mappers (centroid,
+// random, local search) exist as ablations for the optimizer comparison the
+// paper delegates to the task-mapping literature.
+package mapping
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wsnva/internal/cost"
+	"wsnva/internal/geom"
+	"wsnva/internal/sim"
+	"wsnva/internal/taskgraph"
+	"wsnva/internal/varch"
+)
+
+// Assignment maps task IDs to virtual grid coordinates.
+type Assignment struct {
+	Graph *taskgraph.Graph
+	Grid  *geom.Grid
+	At    []geom.Coord // indexed by task ID
+}
+
+// newAssignment allocates an assignment shell for g over grid.
+func newAssignment(g *taskgraph.Graph, grid *geom.Grid) *Assignment {
+	return &Assignment{Graph: g, Grid: grid, At: make([]geom.Coord, g.N())}
+}
+
+// PaperMapping builds the paper's quadrant-recursive assignment of a
+// quad-tree onto a 2^h × 2^h grid. The tree's height must equal the
+// hierarchy depth of the grid.
+func PaperMapping(tree *taskgraph.Tree, grid *geom.Grid) *Assignment {
+	if tree.Arity != 4 {
+		panic(fmt.Sprintf("mapping: paper mapping needs a quad-tree, got arity %d", tree.Arity))
+	}
+	h := varch.MustHierarchy(grid)
+	if tree.Height != h.Levels {
+		panic(fmt.Sprintf("mapping: tree height %d != grid levels %d", tree.Height, h.Levels))
+	}
+	a := newAssignment(tree.Graph, grid)
+	for level, ids := range tree.Levels {
+		blockCells := 1 << (2 * level) // 4^level cells per task at this level
+		for i, id := range ids {
+			a.At[id] = geom.MortonCoord(i * blockCells)
+		}
+	}
+	return a
+}
+
+// CentroidMapping keeps the paper's leaf placement but puts every interior
+// task at the cell nearest the centroid of its children's placements —
+// a latency-motivated alternative that violates no constraint but loses
+// the co-location of parent with NW child.
+func CentroidMapping(tree *taskgraph.Tree, grid *geom.Grid) *Assignment {
+	a := PaperMapping(tree, grid)
+	for level := 1; level <= tree.Height; level++ {
+		for _, id := range tree.Levels[level] {
+			var sc, sr int
+			ch := tree.ChildrenOf(id)
+			for _, c := range ch {
+				sc += a.At[c].Col
+				sr += a.At[c].Row
+			}
+			a.At[id] = geom.Coord{Col: sc / len(ch), Row: sr / len(ch)}
+		}
+	}
+	return a
+}
+
+// RandomMapping keeps the paper's leaf placement (coverage must hold) but
+// scatters interior tasks uniformly at random — the pessimal-but-legal
+// baseline for the mapper ablation.
+func RandomMapping(tree *taskgraph.Tree, grid *geom.Grid, rng *rand.Rand) *Assignment {
+	a := PaperMapping(tree, grid)
+	for level := 1; level <= tree.Height; level++ {
+		for _, id := range tree.Levels[level] {
+			a.At[id] = geom.Coord{Col: rng.Intn(grid.Cols), Row: rng.Intn(grid.Rows)}
+		}
+	}
+	return a
+}
+
+// LocalSearch improves an assignment by hill-climbing on interior task
+// placements: repeatedly move one interior task to an adjacent cell if that
+// lowers Evaluate(...).TotalEnergy, until no single move helps or maxIter
+// moves were tried. Leaves never move (coverage). The result is
+// deterministic given the input assignment.
+func LocalSearch(tree *taskgraph.Tree, a *Assignment, model *cost.Model, maxIter int) *Assignment {
+	cur := &Assignment{Graph: a.Graph, Grid: a.Grid, At: append([]geom.Coord(nil), a.At...)}
+	curCost := Evaluate(tree, cur, model).TotalEnergy
+	for iter := 0; iter < maxIter; iter++ {
+		improved := false
+		for level := 1; level <= tree.Height; level++ {
+			for _, id := range tree.Levels[level] {
+				orig := cur.At[id]
+				best := orig
+				for d := geom.North; d < geom.NumDirs; d++ {
+					cand := orig.Step(d)
+					if !cur.Grid.InBounds(cand) {
+						continue
+					}
+					cur.At[id] = cand
+					if c := Evaluate(tree, cur, model).TotalEnergy; c < curCost {
+						curCost = c
+						best = cand
+						improved = true
+					}
+				}
+				cur.At[id] = best
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return cur
+}
+
+// CheckCoverage verifies the coverage constraint: the sensing tasks map
+// bijectively onto the grid cells.
+func (a *Assignment) CheckCoverage() error {
+	sensing := a.Graph.SensingTasks()
+	if len(sensing) != a.Grid.N() {
+		return fmt.Errorf("mapping: %d sensing tasks for %d cells", len(sensing), a.Grid.N())
+	}
+	seen := make(map[geom.Coord]int, len(sensing))
+	for _, id := range sensing {
+		c := a.At[id]
+		if !a.Grid.InBounds(c) {
+			return fmt.Errorf("mapping: task %d placed out of bounds at %v", id, c)
+		}
+		if prev, dup := seen[c]; dup {
+			return fmt.Errorf("mapping: tasks %d and %d share cell %v", prev, id, c)
+		}
+		seen[c] = id
+	}
+	return nil
+}
+
+// CheckSpatialCorrelation verifies that, for every task, the cells overseen
+// by its sensing descendants form a 4-connected extent — the paper's
+// requirement that children of a node represent "a single contiguous
+// geographic extent".
+func (a *Assignment) CheckSpatialCorrelation() error {
+	oversight := a.Oversight()
+	for id := range a.Graph.Tasks {
+		cells := oversight[id]
+		if len(cells) <= 1 {
+			continue
+		}
+		if !connected(cells) {
+			return fmt.Errorf("mapping: task %d oversees a disconnected extent of %d cells", id, len(cells))
+		}
+	}
+	return nil
+}
+
+// Oversight returns, per task, the set of grid cells covered by the task's
+// sensing descendants (a sensing task oversees exactly its own cell).
+func (a *Assignment) Oversight() []map[geom.Coord]bool {
+	order, err := a.Graph.Topological()
+	if err != nil {
+		panic(err)
+	}
+	out := make([]map[geom.Coord]bool, a.Graph.N())
+	for _, id := range order {
+		set := make(map[geom.Coord]bool)
+		if a.Graph.Tasks[id].Kind == taskgraph.Sensing {
+			set[a.At[id]] = true
+		}
+		for _, p := range a.Graph.Pred(id) {
+			for c := range out[p] {
+				set[c] = true
+			}
+		}
+		out[id] = set
+	}
+	return out
+}
+
+func connected(cells map[geom.Coord]bool) bool {
+	var start geom.Coord
+	for c := range cells {
+		start = c
+		break
+	}
+	visited := map[geom.Coord]bool{start: true}
+	queue := []geom.Coord{start}
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		for d := geom.North; d < geom.NumDirs; d++ {
+			n := c.Step(d)
+			if cells[n] && !visited[n] {
+				visited[n] = true
+				queue = append(queue, n)
+			}
+		}
+	}
+	return len(visited) == len(cells)
+}
+
+// Stats summarizes the analytical cost of executing one round of the graph
+// under an assignment: every edge ships the producer's OutUnits along the
+// XY route; levels execute in sequence, edges within a level in parallel.
+type Stats struct {
+	TotalEnergy   cost.Energy // network-wide energy for one round
+	MaxNodeEnergy cost.Energy // hottest node's share
+	Balance       float64     // MaxNodeEnergy / mean node energy
+	Latency       sim.Time    // critical-path latency for one round
+	Messages      int64       // edges that actually moved data (hops > 0)
+}
+
+// Evaluate computes Stats for one execution round without running anything
+// — the "rapid first-order performance estimation" of Section 2 applied to
+// a mapped task graph.
+func Evaluate(tree *taskgraph.Tree, a *Assignment, model *cost.Model) Stats {
+	perNode := make([]cost.Energy, a.Grid.N())
+	var st Stats
+	for level := 1; level <= tree.Height; level++ {
+		var levelLat sim.Time
+		for _, id := range tree.Levels[level] {
+			dst := a.At[id]
+			for _, ch := range tree.ChildrenOf(id) {
+				src := a.At[ch]
+				hops := src.Manhattan(dst)
+				if hops == 0 {
+					continue
+				}
+				size := tree.Tasks[ch].OutUnits
+				st.Messages++
+				perHop := model.EnergyOf(cost.Tx, size) + model.EnergyOf(cost.Rx, size)
+				st.TotalEnergy += cost.Energy(hops) * perHop
+				chargeRoute(perNode, a.Grid, src, dst, size, model)
+				if lat := sim.Time(hops) * sim.Time(model.TxLatency(size)); lat > levelLat {
+					levelLat = lat
+				}
+			}
+			// Merge compute at the destination: one unit per input unit.
+			perNode[a.Grid.Index(dst)] += model.EnergyOf(cost.Compute, tree.Tasks[id].InUnits)
+			st.TotalEnergy += model.EnergyOf(cost.Compute, tree.Tasks[id].InUnits)
+		}
+		levelLat += sim.Time(model.ComputeLatency(tree.Tasks[tree.Levels[level][0]].InUnits))
+		st.Latency += levelLat
+	}
+	var sum cost.Energy
+	for _, e := range perNode {
+		sum += e
+		if e > st.MaxNodeEnergy {
+			st.MaxNodeEnergy = e
+		}
+	}
+	if sum > 0 {
+		st.Balance = float64(st.MaxNodeEnergy) / (float64(sum) / float64(len(perNode)))
+	}
+	return st
+}
+
+func chargeRoute(perNode []cost.Energy, grid *geom.Grid, src, dst geom.Coord, size int64, model *cost.Model) {
+	cur := src
+	for cur != dst {
+		var next geom.Coord
+		switch {
+		case cur.Col < dst.Col:
+			next = cur.Step(geom.East)
+		case cur.Col > dst.Col:
+			next = cur.Step(geom.West)
+		case cur.Row < dst.Row:
+			next = cur.Step(geom.South)
+		default:
+			next = cur.Step(geom.North)
+		}
+		perNode[grid.Index(cur)] += model.EnergyOf(cost.Tx, size)
+		perNode[grid.Index(next)] += model.EnergyOf(cost.Rx, size)
+		cur = next
+	}
+}

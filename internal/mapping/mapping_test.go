@@ -1,0 +1,243 @@
+package mapping
+
+import (
+	"math/rand"
+	"testing"
+
+	"wsnva/internal/cost"
+	"wsnva/internal/geom"
+	"wsnva/internal/taskgraph"
+)
+
+func paper4x4(t *testing.T) (*taskgraph.Tree, *geom.Grid, *Assignment) {
+	t.Helper()
+	tree := taskgraph.QuadTree(2, 1)
+	grid := geom.NewSquareGrid(4, 4)
+	return tree, grid, PaperMapping(tree, grid)
+}
+
+func TestPaperMappingMatchesFigure3(t *testing.T) {
+	tree, grid, a := paper4x4(t)
+	// Figure 2/3: root at location 0; level-1 nodes at locations 0, 4, 8, 12
+	// (Morton labels); leaf i at Morton location i.
+	if geom.MortonIndex(a.At[tree.Root()]) != 0 {
+		t.Errorf("root at Morton %d, want 0", geom.MortonIndex(a.At[tree.Root()]))
+	}
+	wantL1 := []int{0, 4, 8, 12}
+	for i, id := range tree.Levels[1] {
+		if got := geom.MortonIndex(a.At[id]); got != wantL1[i] {
+			t.Errorf("level-1 task %d at Morton %d, want %d", i, got, wantL1[i])
+		}
+	}
+	for i, id := range tree.Levels[0] {
+		if got := geom.MortonIndex(a.At[id]); got != i {
+			t.Errorf("leaf %d at Morton %d", i, got)
+		}
+	}
+	_ = grid
+}
+
+func TestPaperMappingSatisfiesConstraints(t *testing.T) {
+	for _, h := range []int{1, 2, 3, 4} {
+		tree := taskgraph.QuadTree(h, 1)
+		grid := geom.NewSquareGrid(1<<h, float64(int(1)<<h))
+		a := PaperMapping(tree, grid)
+		if err := a.CheckCoverage(); err != nil {
+			t.Errorf("height %d coverage: %v", h, err)
+		}
+		if err := a.CheckSpatialCorrelation(); err != nil {
+			t.Errorf("height %d spatial correlation: %v", h, err)
+		}
+	}
+}
+
+func TestPaperMappingCoLocatesParentWithNWChild(t *testing.T) {
+	tree, _, a := paper4x4(t)
+	for level := 1; level <= tree.Height; level++ {
+		for _, id := range tree.Levels[level] {
+			nw := tree.ChildrenOf(id)[0]
+			if a.At[id] != a.At[nw] {
+				t.Errorf("task %d not co-located with its NW child", id)
+			}
+		}
+	}
+}
+
+func TestPaperMappingPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"non-quad tree":   func() { PaperMapping(taskgraph.KaryTree(2, 2, 1), geom.NewSquareGrid(2, 2)) },
+		"height mismatch": func() { PaperMapping(taskgraph.QuadTree(2, 1), geom.NewSquareGrid(8, 8)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCoverageViolationsDetected(t *testing.T) {
+	tree, _, a := paper4x4(t)
+	leaves := tree.Levels[0]
+	// Duplicate placement.
+	orig := a.At[leaves[1]]
+	a.At[leaves[1]] = a.At[leaves[0]]
+	if err := a.CheckCoverage(); err == nil {
+		t.Error("duplicate leaf placement should fail coverage")
+	}
+	a.At[leaves[1]] = orig
+	// Out-of-bounds placement.
+	a.At[leaves[2]] = geom.Coord{Col: 99, Row: 0}
+	if err := a.CheckCoverage(); err == nil {
+		t.Error("out-of-bounds leaf should fail coverage")
+	}
+}
+
+func TestSpatialCorrelationViolationDetected(t *testing.T) {
+	tree, _, a := paper4x4(t)
+	// Swap two leaves from different quadrants: both quadrants' extents
+	// become disconnected.
+	l0 := tree.Levels[0][0]   // Morton 0 (NW quadrant)
+	l15 := tree.Levels[0][15] // Morton 15 (SE quadrant)
+	a.At[l0], a.At[l15] = a.At[l15], a.At[l0]
+	if err := a.CheckCoverage(); err != nil {
+		t.Fatalf("swap keeps coverage: %v", err)
+	}
+	if err := a.CheckSpatialCorrelation(); err == nil {
+		t.Error("cross-quadrant leaf swap should break spatial correlation")
+	}
+}
+
+func TestOversight(t *testing.T) {
+	tree, grid, a := paper4x4(t)
+	over := a.Oversight()
+	if len(over[tree.Root()]) != grid.N() {
+		t.Errorf("root oversees %d cells, want %d", len(over[tree.Root()]), grid.N())
+	}
+	for _, id := range tree.Levels[1] {
+		if len(over[id]) != 4 {
+			t.Errorf("level-1 task oversees %d cells, want 4", len(over[id]))
+		}
+	}
+	for _, id := range tree.Levels[0] {
+		if len(over[id]) != 1 {
+			t.Errorf("leaf oversees %d cells, want 1", len(over[id]))
+		}
+	}
+}
+
+func TestEvaluatePaperMapping4x4(t *testing.T) {
+	tree, _, a := paper4x4(t)
+	st := Evaluate(tree, a, cost.NewUniform())
+	// Per level-1 group: children at Morton {0,1,2,3} -> leader at Morton 0.
+	// Hops: 0 (self) + 1 + 1 + 2 = 4 per group, 4 groups = 16 hops at level 1.
+	// Level 2: level-1 leaders Morton {0,4,8,12} at coords (0,0),(2,0),(0,2),
+	// (2,2) -> root (0,0): hops 0+2+2+4 = 8. Total 24 hops, unit size,
+	// 2 energy/hop = 48 transfer energy; compute: 5 interior tasks x 4 units
+	// = 20. Total 68.
+	if st.TotalEnergy != 68 {
+		t.Errorf("TotalEnergy = %d, want 68", st.TotalEnergy)
+	}
+	// Latency: level 1 worst edge 2 hops + 4 compute = 6; level 2 worst edge
+	// 4 hops + 4 compute = 8; total 14.
+	if st.Latency != 14 {
+		t.Errorf("Latency = %d, want 14", st.Latency)
+	}
+	// 3 moving children per level-1 group x 4 groups, plus 3 moving level-1
+	// leaders into the root: 15 of the 20 edges actually move data.
+	if st.Messages != 15 {
+		t.Errorf("Messages = %d, want 15", st.Messages)
+	}
+	if st.MaxNodeEnergy <= 0 || st.Balance < 1 {
+		t.Errorf("implausible hot-spot stats: %+v", st)
+	}
+}
+
+func TestCentroidMappingValidAndDifferent(t *testing.T) {
+	tree := taskgraph.QuadTree(3, 1)
+	grid := geom.NewSquareGrid(8, 8)
+	a := CentroidMapping(tree, grid)
+	if err := a.CheckCoverage(); err != nil {
+		t.Errorf("coverage: %v", err)
+	}
+	if err := a.CheckSpatialCorrelation(); err != nil {
+		t.Errorf("spatial correlation: %v", err)
+	}
+	p := PaperMapping(tree, grid)
+	differs := false
+	for id := range a.At {
+		if a.At[id] != p.At[id] {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Error("centroid mapping should move interior tasks off the NW corners")
+	}
+}
+
+func TestRandomMappingValidCoverage(t *testing.T) {
+	tree := taskgraph.QuadTree(2, 1)
+	grid := geom.NewSquareGrid(4, 4)
+	a := RandomMapping(tree, grid, rand.New(rand.NewSource(3)))
+	if err := a.CheckCoverage(); err != nil {
+		t.Errorf("random mapping must keep coverage: %v", err)
+	}
+}
+
+func TestRandomMappingCostlierThanPaper(t *testing.T) {
+	tree := taskgraph.QuadTree(3, 1)
+	grid := geom.NewSquareGrid(8, 8)
+	model := cost.NewUniform()
+	paper := Evaluate(tree, PaperMapping(tree, grid), model)
+	rng := rand.New(rand.NewSource(7))
+	var worse int
+	const trials = 20
+	for i := 0; i < trials; i++ {
+		r := Evaluate(tree, RandomMapping(tree, grid, rng), model)
+		if r.TotalEnergy > paper.TotalEnergy {
+			worse++
+		}
+	}
+	if worse < trials*3/4 {
+		t.Errorf("random mapping beat the paper mapping too often: %d/%d worse", worse, trials)
+	}
+}
+
+func TestLocalSearchNeverWorse(t *testing.T) {
+	tree := taskgraph.QuadTree(2, 1)
+	grid := geom.NewSquareGrid(4, 4)
+	model := cost.NewUniform()
+	rng := rand.New(rand.NewSource(11))
+	start := RandomMapping(tree, grid, rng)
+	before := Evaluate(tree, start, model).TotalEnergy
+	improved := LocalSearch(tree, start, model, 50)
+	after := Evaluate(tree, improved, model).TotalEnergy
+	if after > before {
+		t.Errorf("local search made things worse: %d -> %d", before, after)
+	}
+	// Input assignment must be untouched.
+	if Evaluate(tree, start, model).TotalEnergy != before {
+		t.Error("LocalSearch mutated its input")
+	}
+	// The paper mapping is a local optimum for the uniform model.
+	p := PaperMapping(tree, grid)
+	pBefore := Evaluate(tree, p, model).TotalEnergy
+	pAfter := Evaluate(tree, LocalSearch(tree, p, model, 50), model).TotalEnergy
+	if pAfter > pBefore {
+		t.Errorf("local search degraded the paper mapping: %d -> %d", pBefore, pAfter)
+	}
+}
+
+func TestEvaluateZeroForSelfContainedTree(t *testing.T) {
+	// Height-0 tree: a single sensing task, no edges, no energy.
+	tree := taskgraph.QuadTree(0, 1)
+	grid := geom.NewSquareGrid(1, 1)
+	a := PaperMapping(tree, grid)
+	st := Evaluate(tree, a, cost.NewUniform())
+	if st.TotalEnergy != 0 || st.Latency != 0 || st.Messages != 0 {
+		t.Errorf("empty round should be free: %+v", st)
+	}
+}

@@ -1,0 +1,111 @@
+// Package mission runs the periodic monitoring duty cycle as a managed
+// loop — the "application essentially executes in an infinite loop"
+// framing of Section 1 made operational. Each round samples the phenomenon
+// at the round's time, executes one synthesized labeling round on the
+// virtual architecture, folds the energy into a cumulative ledger, and
+// stops at the first node death (the system-lifetime event) or at the
+// round cap. The per-round records feed lifetime experiments and the
+// monitoring examples.
+package mission
+
+import (
+	"fmt"
+
+	"wsnva/internal/cost"
+	"wsnva/internal/field"
+	"wsnva/internal/geom"
+	"wsnva/internal/regions"
+	"wsnva/internal/sim"
+	"wsnva/internal/synth"
+	"wsnva/internal/varch"
+)
+
+// Config parameterizes a mission.
+type Config struct {
+	Hier *varch.Hierarchy
+	// Phenomenon is sampled at each round's virtual time.
+	Phenomenon field.Field
+	Threshold  float64
+	// Interval is the virtual time between rounds (drives field drift).
+	Interval int64
+	// Budget is the per-node energy battery; the mission ends when any
+	// node's cumulative spend exceeds it.
+	Budget cost.Energy
+	// MaxRounds caps the mission (0 means 10_000).
+	MaxRounds int
+}
+
+// RoundRecord captures one round's outcome.
+type RoundRecord struct {
+	Round        int
+	FeatureCells int
+	Regions      int
+	Completion   sim.Time
+	RoundEnergy  cost.Energy // energy spent this round
+	MaxNode      cost.Energy // cumulative hottest node
+}
+
+// Outcome is the mission's result.
+type Outcome struct {
+	Records        []RoundRecord
+	RoundsSurvived int  // full rounds completed before first death
+	Died           bool // false when MaxRounds hit first
+	Ledger         *cost.Ledger
+}
+
+// Run executes the mission to first node death or the round cap.
+func Run(cfg Config) (*Outcome, error) {
+	if cfg.Hier == nil || cfg.Phenomenon == nil {
+		return nil, fmt.Errorf("mission: hierarchy and phenomenon are required")
+	}
+	if cfg.Budget <= 0 {
+		return nil, fmt.Errorf("mission: budget must be positive")
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 10_000
+	}
+	g := cfg.Hier.Grid
+	ledger := cost.NewLedger(cost.NewUniform(), g.N())
+	out := &Outcome{Ledger: ledger}
+	for round := 0; round < maxRounds; round++ {
+		now := int64(round) * cfg.Interval
+		m := field.Threshold(cfg.Phenomenon, g, cfg.Threshold, now)
+		before := ledger.Metrics().Total
+		vm := varch.NewMachine(cfg.Hier, sim.New(), ledger)
+		res, err := synth.RunOnMachine(vm, m)
+		if err != nil {
+			return nil, fmt.Errorf("mission: round %d: %w", round, err)
+		}
+		if got, want := res.Final.Count(), regions.Label(m).Count; got != want {
+			return nil, fmt.Errorf("mission: round %d labeled %d regions, truth %d", round, got, want)
+		}
+		met := ledger.Metrics()
+		out.Records = append(out.Records, RoundRecord{
+			Round:        round,
+			FeatureCells: m.Count(),
+			Regions:      res.Final.Count(),
+			Completion:   res.Completion,
+			RoundEnergy:  met.Total - before,
+			MaxNode:      met.Max,
+		})
+		if met.Max > cfg.Budget {
+			out.Died = true
+			out.RoundsSurvived = round // this round killed the node
+			return out, nil
+		}
+		out.RoundsSurvived = round + 1
+	}
+	return out, nil
+}
+
+// HotSpot returns the grid coordinate of the mission's hottest node.
+func (o *Outcome) HotSpot(g *geom.Grid) geom.Coord {
+	best, bestE := 0, cost.Energy(-1)
+	for i := 0; i < o.Ledger.N(); i++ {
+		if e := o.Ledger.Energy(i); e > bestE {
+			best, bestE = i, e
+		}
+	}
+	return g.CoordOf(best)
+}

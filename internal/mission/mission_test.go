@@ -1,0 +1,102 @@
+package mission
+
+import (
+	"math/rand"
+	"testing"
+
+	"wsnva/internal/cost"
+	"wsnva/internal/field"
+	"wsnva/internal/geom"
+	"wsnva/internal/varch"
+)
+
+func config(side int, budget cost.Energy) Config {
+	g := geom.NewSquareGrid(side, float64(side))
+	return Config{
+		Hier:       varch.MustHierarchy(g),
+		Phenomenon: field.RandomBlobs(3, g.Terrain, float64(side)/8, float64(side)/5, rand.New(rand.NewSource(5))),
+		Threshold:  0.5,
+		Interval:   100,
+		Budget:     budget,
+	}
+}
+
+func TestMissionRunsToDeath(t *testing.T) {
+	cfg := config(8, 800)
+	out, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Died {
+		t.Fatal("a 800-unit battery must die within the cap")
+	}
+	if out.RoundsSurvived < 1 {
+		t.Errorf("survived %d rounds", out.RoundsSurvived)
+	}
+	if len(out.Records) != out.RoundsSurvived+1 {
+		t.Errorf("%d records for %d survived rounds (+1 fatal)", len(out.Records), out.RoundsSurvived)
+	}
+	// Budget was respected until the fatal round.
+	for _, r := range out.Records[:len(out.Records)-1] {
+		if r.MaxNode > cfg.Budget {
+			t.Errorf("round %d exceeded budget before the fatal round", r.Round)
+		}
+	}
+	if last := out.Records[len(out.Records)-1]; last.MaxNode <= cfg.Budget {
+		t.Error("fatal round should exceed the budget")
+	}
+}
+
+func TestMissionHotSpotIsRoot(t *testing.T) {
+	out, err := Run(config(8, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs := out.HotSpot(geom.NewSquareGrid(8, 8)); hs != (geom.Coord{}) {
+		t.Errorf("hot spot at %v; the NW-corner mapping concentrates work at the root", hs)
+	}
+}
+
+func TestMissionRoundCap(t *testing.T) {
+	cfg := config(4, 1_000_000_000)
+	cfg.MaxRounds = 7
+	out, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Died {
+		t.Error("huge battery should outlive 7 rounds")
+	}
+	if out.RoundsSurvived != 7 || len(out.Records) != 7 {
+		t.Errorf("survived %d with %d records, want 7/7", out.RoundsSurvived, len(out.Records))
+	}
+}
+
+func TestMissionBiggerBatteryLastsLonger(t *testing.T) {
+	a, err := Run(config(8, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(config(8, 4000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.RoundsSurvived <= a.RoundsSurvived {
+		t.Errorf("4x battery lasted %d rounds vs %d", b.RoundsSurvived, a.RoundsSurvived)
+	}
+	// Roughly proportional: 4x battery within [3x, 5x] of the small one.
+	ratio := float64(b.RoundsSurvived) / float64(a.RoundsSurvived)
+	if ratio < 3 || ratio > 5 {
+		t.Errorf("lifetime ratio %v for a 4x battery", ratio)
+	}
+}
+
+func TestMissionValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("missing hierarchy should error")
+	}
+	cfg := config(4, 0)
+	if _, err := Run(cfg); err == nil {
+		t.Error("zero budget should error")
+	}
+}

@@ -1,0 +1,177 @@
+// Package program is the reactive, event-driven node programming model of
+// Section 4.3: a program is a set of guarded commands (Condition/Action
+// clauses, paper Figure 4) over a per-node state environment, driven by an
+// asynchronous stream of incoming messages. The paper assumes exactly this
+// model is what code-generation frameworks for sensor nodes accept, so the
+// synthesis stage (internal/synth) targets it.
+//
+// Semantics: rules are inspected in declaration order; the first rule whose
+// guard holds fires; firing repeats until no guard holds (quiescence).
+// Message arrival enqueues the message and re-enters the loop — the
+// interpreter itself never blocks waiting for a specific message, which is
+// what lets synthesized programs process incoming information incrementally
+// the way Section 4.3 prescribes.
+package program
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Env is a node's mutable state: named integer, boolean, and object
+// registers, plus the queue of received-but-unprocessed messages.
+type Env struct {
+	Ints  map[string]int64
+	Bools map[string]bool
+	Objs  map[string]any
+	inbox []any
+}
+
+// NewEnv returns an empty environment.
+func NewEnv() *Env {
+	return &Env{
+		Ints:  make(map[string]int64),
+		Bools: make(map[string]bool),
+		Objs:  make(map[string]any),
+	}
+}
+
+// Deliver enqueues a received message for rule consumption.
+func (e *Env) Deliver(msg any) { e.inbox = append(e.inbox, msg) }
+
+// PeekMsg returns the oldest undelivered message without consuming it, or
+// nil if the inbox is empty. Guards use it to pattern-match.
+func (e *Env) PeekMsg() any {
+	if len(e.inbox) == 0 {
+		return nil
+	}
+	return e.inbox[0]
+}
+
+// TakeMsg consumes and returns the oldest message. It panics on an empty
+// inbox — actions must only take what their guard saw.
+func (e *Env) TakeMsg() any {
+	if len(e.inbox) == 0 {
+		panic("program: TakeMsg on empty inbox")
+	}
+	m := e.inbox[0]
+	e.inbox = e.inbox[1:]
+	return m
+}
+
+// InboxLen returns the number of queued messages.
+func (e *Env) InboxLen() int { return len(e.inbox) }
+
+// Effector is the set of externally visible effects an action may perform.
+// The virtual architecture (or the goroutine runtime) supplies the
+// implementation; the program never sees anything lower-level.
+type Effector interface {
+	// Send transmits payload of the given size to the sender's level-k
+	// group leader (the paper's group-communication primitive).
+	Send(level int, size int64, payload any)
+	// Exfiltrate delivers a final result out of the network.
+	Exfiltrate(result any)
+	// Compute charges local processing of the given data volume.
+	Compute(units int64)
+	// Sense charges one sensor reading.
+	Sense(units int64)
+}
+
+// Rule is one guarded command: a Condition/Action clause of Figure 4.
+type Rule struct {
+	Name      string
+	Condition string // human-readable guard, for the synthesized listing
+	Effect    string // human-readable action, for the synthesized listing
+	Guard     func(e *Env) bool
+	Action    func(e *Env, fx Effector)
+}
+
+// Spec is a synthesized program: initial state plus an ordered rule set.
+type Spec struct {
+	Title string
+	Init  func(e *Env)
+	Rules []Rule
+}
+
+// Listing renders the program in the Condition/Action style of paper
+// Figure 4 — the artifact the synthesis stage hands to the node runtime.
+func (s *Spec) Listing() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s\n", s.Title)
+	for _, r := range s.Rules {
+		fmt.Fprintf(&b, "\nCondition : %s\nAction    : %s\n", r.Condition, indent(r.Effect))
+	}
+	return b.String()
+}
+
+func indent(s string) string {
+	return strings.ReplaceAll(s, "\n", "\n            ")
+}
+
+// Instance is a running copy of a Spec on one node.
+type Instance struct {
+	Spec        *Spec
+	Env         *Env
+	fx          Effector
+	fired       int64
+	firedByRule []int64
+}
+
+// NewInstance instantiates spec with the given effector and runs Init.
+func NewInstance(spec *Spec, fx Effector) *Instance {
+	inst := &Instance{
+		Spec:        spec,
+		Env:         NewEnv(),
+		fx:          fx,
+		firedByRule: make([]int64, len(spec.Rules)),
+	}
+	if spec.Init != nil {
+		spec.Init(inst.Env)
+	}
+	return inst
+}
+
+// Step evaluates guards in order and fires the first enabled rule.
+// It reports whether any rule fired.
+func (inst *Instance) Step() bool {
+	for i := range inst.Spec.Rules {
+		r := &inst.Spec.Rules[i]
+		if r.Guard(inst.Env) {
+			r.Action(inst.Env, inst.fx)
+			inst.fired++
+			inst.firedByRule[i]++
+			return true
+		}
+	}
+	return false
+}
+
+// FiredByRule returns per-rule firing counts, indexed like Spec.Rules —
+// the synthesis-coverage report: a rule that never fires across a whole
+// test campaign is dead weight or a latent bug.
+func (inst *Instance) FiredByRule() []int64 {
+	return append([]int64(nil), inst.firedByRule...)
+}
+
+// RunToQuiescence fires rules until none is enabled, returning the number
+// fired. It panics after maxSteps firings — a livelocked rule set is a
+// synthesis bug, not a runtime condition.
+func (inst *Instance) RunToQuiescence(maxSteps int) int {
+	n := 0
+	for inst.Step() {
+		n++
+		if n > maxSteps {
+			panic(fmt.Sprintf("program: no quiescence after %d steps in %q", maxSteps, inst.Spec.Title))
+		}
+	}
+	return n
+}
+
+// OnMessage delivers msg and runs to quiescence.
+func (inst *Instance) OnMessage(msg any, maxSteps int) int {
+	inst.Env.Deliver(msg)
+	return inst.RunToQuiescence(maxSteps)
+}
+
+// Fired returns the total number of rule firings on this instance.
+func (inst *Instance) Fired() int64 { return inst.fired }

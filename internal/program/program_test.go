@@ -1,0 +1,191 @@
+package program
+
+import (
+	"strings"
+	"testing"
+)
+
+// nullFx is an Effector that records calls.
+type nullFx struct {
+	sends  int
+	exfils int
+	comps  int64
+	senses int64
+}
+
+func (f *nullFx) Send(level int, size int64, payload any) { f.sends++ }
+func (f *nullFx) Exfiltrate(result any)                   { f.exfils++ }
+func (f *nullFx) Compute(units int64)                     { f.comps += units }
+func (f *nullFx) Sense(units int64)                       { f.senses += units }
+
+func counterSpec() *Spec {
+	return &Spec{
+		Title: "counter",
+		Init: func(e *Env) {
+			e.Ints["n"] = 0
+			e.Bools["go"] = true
+		},
+		Rules: []Rule{
+			{
+				Name:      "tick",
+				Condition: "go and n < 3",
+				Effect:    "n++",
+				Guard:     func(e *Env) bool { return e.Bools["go"] && e.Ints["n"] < 3 },
+				Action:    func(e *Env, fx Effector) { e.Ints["n"]++; fx.Compute(1) },
+			},
+			{
+				Name:      "stop",
+				Condition: "n = 3",
+				Effect:    "go = false",
+				Guard:     func(e *Env) bool { return e.Bools["go"] && e.Ints["n"] == 3 },
+				Action:    func(e *Env, fx Effector) { e.Bools["go"] = false },
+			},
+		},
+	}
+}
+
+func TestRunToQuiescence(t *testing.T) {
+	fx := &nullFx{}
+	inst := NewInstance(counterSpec(), fx)
+	fired := inst.RunToQuiescence(100)
+	if fired != 4 {
+		t.Errorf("fired %d rules, want 4 (3 ticks + stop)", fired)
+	}
+	if inst.Env.Ints["n"] != 3 || inst.Env.Bools["go"] {
+		t.Errorf("final state n=%d go=%v", inst.Env.Ints["n"], inst.Env.Bools["go"])
+	}
+	if fx.comps != 3 {
+		t.Errorf("compute units = %d", fx.comps)
+	}
+	if inst.Fired() != 4 {
+		t.Errorf("Fired() = %d", inst.Fired())
+	}
+	// Already quiescent: nothing fires.
+	if inst.Step() {
+		t.Error("quiescent instance should not fire")
+	}
+}
+
+func TestFiredByRule(t *testing.T) {
+	inst := NewInstance(counterSpec(), &nullFx{})
+	inst.RunToQuiescence(100)
+	byRule := inst.FiredByRule()
+	if len(byRule) != 2 {
+		t.Fatalf("got %d rule counters", len(byRule))
+	}
+	if byRule[0] != 3 || byRule[1] != 1 {
+		t.Errorf("counts = %v, want [3 1]", byRule)
+	}
+	// The returned slice is a copy.
+	byRule[0] = 99
+	if inst.FiredByRule()[0] != 3 {
+		t.Error("FiredByRule must return a copy")
+	}
+}
+
+func TestRulePriorityOrder(t *testing.T) {
+	var fired []string
+	spec := &Spec{
+		Title: "priority",
+		Init:  func(e *Env) { e.Bools["a"] = true; e.Bools["b"] = true },
+		Rules: []Rule{
+			{Name: "first", Guard: func(e *Env) bool { return e.Bools["a"] },
+				Action: func(e *Env, fx Effector) { fired = append(fired, "first"); e.Bools["a"] = false }},
+			{Name: "second", Guard: func(e *Env) bool { return e.Bools["b"] },
+				Action: func(e *Env, fx Effector) { fired = append(fired, "second"); e.Bools["b"] = false }},
+		},
+	}
+	inst := NewInstance(spec, &nullFx{})
+	inst.RunToQuiescence(10)
+	if len(fired) != 2 || fired[0] != "first" || fired[1] != "second" {
+		t.Errorf("firing order = %v", fired)
+	}
+}
+
+func TestLivelockPanics(t *testing.T) {
+	spec := &Spec{
+		Title: "livelock",
+		Rules: []Rule{{
+			Name:   "forever",
+			Guard:  func(e *Env) bool { return true },
+			Action: func(e *Env, fx Effector) {},
+		}},
+	}
+	inst := NewInstance(spec, &nullFx{})
+	defer func() {
+		if recover() == nil {
+			t.Error("livelock should panic")
+		}
+	}()
+	inst.RunToQuiescence(10)
+}
+
+func TestInboxSemantics(t *testing.T) {
+	e := NewEnv()
+	if e.PeekMsg() != nil || e.InboxLen() != 0 {
+		t.Error("fresh inbox should be empty")
+	}
+	e.Deliver("a")
+	e.Deliver("b")
+	if e.InboxLen() != 2 {
+		t.Error("inbox should hold 2")
+	}
+	if e.PeekMsg().(string) != "a" {
+		t.Error("peek should see oldest")
+	}
+	if e.TakeMsg().(string) != "a" || e.TakeMsg().(string) != "b" {
+		t.Error("take order wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("TakeMsg on empty inbox should panic")
+		}
+	}()
+	e.TakeMsg()
+}
+
+func TestOnMessageDrivesRules(t *testing.T) {
+	spec := &Spec{
+		Title: "echo",
+		Init:  func(e *Env) { e.Ints["got"] = 0 },
+		Rules: []Rule{{
+			Name:  "recv",
+			Guard: func(e *Env) bool { return e.PeekMsg() != nil },
+			Action: func(e *Env, fx Effector) {
+				e.TakeMsg()
+				e.Ints["got"]++
+				fx.Send(1, 1, nil)
+			},
+		}},
+	}
+	fx := &nullFx{}
+	inst := NewInstance(spec, fx)
+	inst.OnMessage("x", 10)
+	inst.OnMessage("y", 10)
+	if inst.Env.Ints["got"] != 2 || fx.sends != 2 {
+		t.Errorf("got=%d sends=%d", inst.Env.Ints["got"], fx.sends)
+	}
+}
+
+func TestListingFormat(t *testing.T) {
+	spec := &Spec{
+		Title: "demo",
+		Rules: []Rule{{
+			Name:      "r",
+			Condition: "x = true",
+			Effect:    "line1\nline2",
+			Guard:     func(e *Env) bool { return false },
+			Action:    func(e *Env, fx Effector) {},
+		}},
+	}
+	listing := spec.Listing()
+	if !strings.Contains(listing, "program demo") {
+		t.Error("listing missing title")
+	}
+	if !strings.Contains(listing, "Condition : x = true") {
+		t.Error("listing missing condition")
+	}
+	if !strings.Contains(listing, "line1\n            line2") {
+		t.Errorf("multi-line action not indented:\n%s", listing)
+	}
+}

@@ -1,0 +1,189 @@
+// Package radio simulates the physical layer: a broadcast medium over the
+// disk-model connectivity graph of a deployment. Every transmission by a
+// node is heard by all of its one-hop neighbors (the short-range
+// omnidirectional antenna of Section 3.2), after a delay drawn from a
+// configurable delay model, and each delivery is independently dropped with
+// a configurable loss probability — the "latency of message delivery is
+// unpredictable ... some messages might even be dropped" environment that
+// motivates the paper's asynchronous, incremental programming model.
+//
+// Energy accounting matches the paper's uniform cost model: one transmit
+// charge at the sender per broadcast and one receive charge at every
+// neighbor that actually receives it.
+package radio
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wsnva/internal/cost"
+	"wsnva/internal/deploy"
+	"wsnva/internal/sim"
+)
+
+// Packet is what a node hears from the medium.
+type Packet struct {
+	From    int   // sender node ID
+	Size    int64 // payload size in cost-model data units
+	Payload any   // protocol-defined contents
+}
+
+// Handler consumes a packet at a receiving node.
+type Handler func(p Packet)
+
+// DelayModel maps a transmission to a per-delivery latency.
+type DelayModel interface {
+	// Delay returns the delivery delay for a packet of size units from
+	// one node to a specific neighbor.
+	Delay(size int64, rng *rand.Rand) sim.Time
+}
+
+// UniformDelay charges the cost model's transmission latency for every
+// delivery, with optional uniform jitter in [0, Jitter] to exercise the
+// asynchrony the paper's program model must tolerate.
+type UniformDelay struct {
+	Model  *cost.Model
+	Jitter sim.Time
+}
+
+// Delay implements DelayModel.
+func (d UniformDelay) Delay(size int64, rng *rand.Rand) sim.Time {
+	base := sim.Time(d.Model.TxLatency(size))
+	if d.Jitter > 0 {
+		base += sim.Time(rng.Int63n(int64(d.Jitter) + 1))
+	}
+	return base
+}
+
+// Medium is the shared broadcast channel. It is bound to one deployment,
+// one simulation kernel, one ledger, and one RNG; all are injected so
+// experiments stay deterministic.
+type Medium struct {
+	nw       *deploy.Network
+	kernel   *sim.Kernel
+	ledger   *cost.Ledger
+	rng      *rand.Rand
+	delay    DelayModel
+	loss     float64
+	handlers []Handler
+
+	sent      int64 // broadcasts initiated
+	delivered int64 // per-neighbor successful deliveries
+	dropped   int64 // per-neighbor losses
+}
+
+// Config collects the knobs for a Medium.
+type Config struct {
+	Delay DelayModel // nil means UniformDelay over the ledger's model
+	Loss  float64    // per-delivery drop probability in [0,1)
+}
+
+// NewMedium builds a broadcast medium over nw driven by kernel, charging
+// energy to ledger, with randomness from rng.
+func NewMedium(nw *deploy.Network, kernel *sim.Kernel, ledger *cost.Ledger, rng *rand.Rand, cfg Config) *Medium {
+	if cfg.Loss < 0 || cfg.Loss >= 1 {
+		panic(fmt.Sprintf("radio: loss probability %v out of [0,1)", cfg.Loss))
+	}
+	if ledger.N() != nw.N() {
+		panic(fmt.Sprintf("radio: ledger tracks %d nodes, network has %d", ledger.N(), nw.N()))
+	}
+	d := cfg.Delay
+	if d == nil {
+		d = UniformDelay{Model: ledger.Model()}
+	}
+	return &Medium{
+		nw:       nw,
+		kernel:   kernel,
+		ledger:   ledger,
+		rng:      rng,
+		delay:    d,
+		loss:     cfg.Loss,
+		handlers: make([]Handler, nw.N()),
+	}
+}
+
+// Handle registers the receive handler for node id, replacing any previous
+// handler. A nil handler makes the node deaf (it still pays receive energy
+// for packets that arrive while deaf — the radio hardware ran either way).
+func (m *Medium) Handle(id int, h Handler) { m.handlers[id] = h }
+
+// Broadcast transmits a packet of the given size from node from to all of
+// its one-hop neighbors. Delivery to each neighbor is independent: its own
+// delay draw and its own loss draw. Returns the number of neighbors the
+// packet was queued for (i.e., not dropped).
+func (m *Medium) Broadcast(from int, size int64, payload any) int {
+	if size < 0 {
+		panic(fmt.Sprintf("radio: negative packet size %d", size))
+	}
+	m.sent++
+	m.ledger.Charge(from, cost.Tx, size)
+	queued := 0
+	for _, nbr := range m.nw.Neighbors(from) {
+		if m.loss > 0 && m.rng.Float64() < m.loss {
+			m.dropped++
+			continue
+		}
+		queued++
+		nbr := nbr
+		pkt := Packet{From: from, Size: size, Payload: payload}
+		m.kernel.After(m.delay.Delay(size, m.rng), func() {
+			m.deliver(nbr, pkt)
+		})
+	}
+	return queued
+}
+
+// Unicast transmits to a single one-hop neighbor. It panics if to is not a
+// neighbor of from: the disk model has no long links, so routing layers
+// must decompose paths into hops before calling down here.
+func (m *Medium) Unicast(from, to int, size int64, payload any) bool {
+	if size < 0 {
+		panic(fmt.Sprintf("radio: negative packet size %d", size))
+	}
+	if !m.isNeighbor(from, to) {
+		panic(fmt.Sprintf("radio: unicast %d->%d between non-neighbors", from, to))
+	}
+	m.sent++
+	m.ledger.Charge(from, cost.Tx, size)
+	if m.loss > 0 && m.rng.Float64() < m.loss {
+		m.dropped++
+		return false
+	}
+	pkt := Packet{From: from, Size: size, Payload: payload}
+	m.kernel.After(m.delay.Delay(size, m.rng), func() {
+		m.deliver(to, pkt)
+	})
+	return true
+}
+
+func (m *Medium) isNeighbor(from, to int) bool {
+	for _, n := range m.nw.Neighbors(from) {
+		if n == to {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *Medium) deliver(to int, pkt Packet) {
+	m.delivered++
+	m.ledger.Charge(to, cost.Rx, pkt.Size)
+	if h := m.handlers[to]; h != nil {
+		h(pkt)
+	}
+}
+
+// Network returns the deployment the medium runs over.
+func (m *Medium) Network() *deploy.Network { return m.nw }
+
+// Kernel returns the simulation kernel driving deliveries.
+func (m *Medium) Kernel() *sim.Kernel { return m.kernel }
+
+// Ledger returns the energy ledger the medium charges.
+func (m *Medium) Ledger() *cost.Ledger { return m.ledger }
+
+// Stats reports cumulative traffic counters: broadcasts/unicasts initiated,
+// per-neighbor deliveries, and per-neighbor drops.
+func (m *Medium) Stats() (sent, delivered, dropped int64) {
+	return m.sent, m.delivered, m.dropped
+}

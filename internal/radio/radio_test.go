@@ -1,0 +1,233 @@
+package radio
+
+import (
+	"math/rand"
+	"testing"
+
+	"wsnva/internal/cost"
+	"wsnva/internal/deploy"
+	"wsnva/internal/geom"
+	"wsnva/internal/sim"
+)
+
+// chain builds a 4-node chain 0-1-2-3 with unit spacing and range 1.
+func chain(t *testing.T) *deploy.Network {
+	t.Helper()
+	pts := []geom.Point{{X: 0.5, Y: 0.5}, {X: 1.5, Y: 0.5}, {X: 2.5, Y: 0.5}, {X: 3.5, Y: 0.5}}
+	return deploy.FromPoints(pts, geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}, 1.0)
+}
+
+func newMedium(t *testing.T, nw *deploy.Network, cfg Config) (*Medium, *sim.Kernel, *cost.Ledger) {
+	t.Helper()
+	k := sim.New()
+	l := cost.NewLedger(cost.NewUniform(), nw.N())
+	m := NewMedium(nw, k, l, rand.New(rand.NewSource(1)), cfg)
+	return m, k, l
+}
+
+func TestBroadcastReachesOnlyNeighbors(t *testing.T) {
+	nw := chain(t)
+	m, k, _ := newMedium(t, nw, Config{})
+	got := map[int][]int{}
+	for id := 0; id < nw.N(); id++ {
+		id := id
+		m.Handle(id, func(p Packet) { got[id] = append(got[id], p.From) })
+	}
+	m.Broadcast(1, 1, "hello")
+	k.Run()
+	if len(got[0]) != 1 || got[0][0] != 1 {
+		t.Errorf("node 0 heard %v, want [1]", got[0])
+	}
+	if len(got[2]) != 1 || got[2][0] != 1 {
+		t.Errorf("node 2 heard %v, want [1]", got[2])
+	}
+	if len(got[3]) != 0 {
+		t.Errorf("node 3 (2 hops away) heard %v", got[3])
+	}
+	if len(got[1]) != 0 {
+		t.Errorf("sender heard its own broadcast: %v", got[1])
+	}
+}
+
+func TestBroadcastEnergyAccounting(t *testing.T) {
+	nw := chain(t)
+	m, k, l := newMedium(t, nw, Config{})
+	m.Broadcast(1, 5, nil) // node 1 has neighbors 0 and 2
+	k.Run()
+	if l.Energy(1) != 5 {
+		t.Errorf("sender energy = %d, want 5 (one tx of 5 units)", l.Energy(1))
+	}
+	if l.Energy(0) != 5 || l.Energy(2) != 5 {
+		t.Errorf("receiver energies = %d,%d, want 5,5", l.Energy(0), l.Energy(2))
+	}
+	if l.Energy(3) != 0 {
+		t.Errorf("out-of-range node charged %d", l.Energy(3))
+	}
+}
+
+func TestBroadcastDelayEqualsTxLatency(t *testing.T) {
+	nw := chain(t)
+	m, k, _ := newMedium(t, nw, Config{})
+	var at sim.Time = -1
+	m.Handle(0, func(Packet) { at = k.Now() })
+	m.Broadcast(1, 7, nil)
+	k.Run()
+	if at != 7 { // uniform model: b=1, so 7 units take 7 latency
+		t.Errorf("delivery at t=%d, want 7", at)
+	}
+}
+
+func TestUnicast(t *testing.T) {
+	nw := chain(t)
+	m, k, l := newMedium(t, nw, Config{})
+	heard := 0
+	m.Handle(2, func(p Packet) {
+		heard++
+		if p.From != 1 || p.Size != 3 || p.Payload.(string) != "x" {
+			t.Errorf("bad packet %+v", p)
+		}
+	})
+	m.Handle(0, func(Packet) { t.Error("unicast leaked to another neighbor") })
+	if !m.Unicast(1, 2, 3, "x") {
+		t.Error("lossless unicast should report queued")
+	}
+	k.Run()
+	if heard != 1 {
+		t.Errorf("heard %d packets, want 1", heard)
+	}
+	if l.Energy(1) != 3 || l.Energy(2) != 3 {
+		t.Errorf("energies %d,%d, want 3,3", l.Energy(1), l.Energy(2))
+	}
+}
+
+func TestUnicastNonNeighborPanics(t *testing.T) {
+	nw := chain(t)
+	m, _, _ := newMedium(t, nw, Config{})
+	defer func() {
+		if recover() == nil {
+			t.Error("unicast between non-neighbors should panic")
+		}
+	}()
+	m.Unicast(0, 3, 1, nil)
+}
+
+func TestLossDropsSomeDeliveries(t *testing.T) {
+	nw := chain(t)
+	m, k, _ := newMedium(t, nw, Config{Loss: 0.5})
+	received := 0
+	for id := 0; id < nw.N(); id++ {
+		m.Handle(id, func(Packet) { received++ })
+	}
+	const rounds = 1000
+	for i := 0; i < rounds; i++ {
+		m.Broadcast(1, 1, nil) // 2 potential deliveries per broadcast
+	}
+	k.Run()
+	sent, delivered, dropped := m.Stats()
+	if sent != rounds {
+		t.Errorf("sent = %d, want %d", sent, rounds)
+	}
+	if delivered+dropped != 2*rounds {
+		t.Errorf("delivered %d + dropped %d != %d", delivered, dropped, 2*rounds)
+	}
+	if received != int(delivered) {
+		t.Errorf("handlers saw %d, medium delivered %d", received, delivered)
+	}
+	// With p=0.5 over 2000 Bernoulli trials, expect ~1000 ± a wide margin.
+	if delivered < 800 || delivered > 1200 {
+		t.Errorf("delivered = %d, implausible for p=0.5 over 2000 trials", delivered)
+	}
+}
+
+func TestZeroLossDeliversEverything(t *testing.T) {
+	nw := chain(t)
+	m, k, _ := newMedium(t, nw, Config{})
+	for i := 0; i < 100; i++ {
+		m.Broadcast(0, 1, nil) // node 0 has exactly 1 neighbor
+	}
+	k.Run()
+	_, delivered, dropped := m.Stats()
+	if dropped != 0 || delivered != 100 {
+		t.Errorf("delivered %d dropped %d, want 100/0", delivered, dropped)
+	}
+}
+
+func TestJitterStaysInRange(t *testing.T) {
+	nw := chain(t)
+	k := sim.New()
+	l := cost.NewLedger(cost.NewUniform(), nw.N())
+	m := NewMedium(nw, k, l, rand.New(rand.NewSource(2)), Config{
+		Delay: UniformDelay{Model: l.Model(), Jitter: 5},
+	})
+	var times []sim.Time
+	m.Handle(0, func(Packet) { times = append(times, k.Now()) })
+	for i := 0; i < 200; i++ {
+		m.Broadcast(1, 1, nil)
+	}
+	k.Run()
+	sawJitter := false
+	for _, at := range times {
+		if at < 1 || at > 6 {
+			t.Fatalf("delivery at %d outside [1,6]", at)
+		}
+		if at > 1 {
+			sawJitter = true
+		}
+	}
+	if !sawJitter {
+		t.Error("200 jittered deliveries all at base delay; jitter not applied")
+	}
+}
+
+func TestDeafNodeStillChargedRx(t *testing.T) {
+	nw := chain(t)
+	m, k, l := newMedium(t, nw, Config{})
+	m.Broadcast(1, 4, nil) // node 0 has no handler
+	k.Run()
+	if l.Energy(0) != 4 {
+		t.Errorf("deaf node energy = %d, want 4", l.Energy(0))
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	nw := chain(t)
+	k := sim.New()
+	l := cost.NewLedger(cost.NewUniform(), nw.N())
+	rng := rand.New(rand.NewSource(1))
+	for name, f := range map[string]func(){
+		"loss=1":          func() { NewMedium(nw, k, l, rng, Config{Loss: 1}) },
+		"loss<0":          func() { NewMedium(nw, k, l, rng, Config{Loss: -0.1}) },
+		"ledger mismatch": func() { NewMedium(nw, k, cost.NewLedger(cost.NewUniform(), 2), rng, Config{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNegativeSizePanics(t *testing.T) {
+	nw := chain(t)
+	m, _, _ := newMedium(t, nw, Config{})
+	defer func() {
+		if recover() == nil {
+			t.Error("negative size should panic")
+		}
+	}()
+	m.Broadcast(0, -1, nil)
+}
+
+func TestAccessors(t *testing.T) {
+	nw := chain(t)
+	m, k, _ := newMedium(t, nw, Config{})
+	if m.Network() != nw {
+		t.Error("Network accessor")
+	}
+	if m.Kernel() != k {
+		t.Error("Kernel accessor")
+	}
+}

@@ -1,0 +1,218 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+
+	"wsnva/internal/deploy"
+	"wsnva/internal/geom"
+)
+
+// adjGraph is a simple explicit-adjacency Graph for tests.
+type adjGraph [][]int
+
+func (g adjGraph) N() int                 { return len(g) }
+func (g adjGraph) Neighbors(id int) []int { return g[id] }
+
+func TestBFSOnChain(t *testing.T) {
+	g := adjGraph{{1}, {0, 2}, {1, 3}, {2}}
+	dist, parent := BFS(g, 0)
+	wantDist := []int{0, 1, 2, 3}
+	for i := range wantDist {
+		if dist[i] != wantDist[i] {
+			t.Errorf("dist[%d] = %d, want %d", i, dist[i], wantDist[i])
+		}
+	}
+	if parent[0] != -1 || parent[1] != 0 || parent[3] != 2 {
+		t.Errorf("parents = %v", parent)
+	}
+}
+
+func TestBFSDisconnected(t *testing.T) {
+	g := adjGraph{{1}, {0}, {3}, {2}}
+	dist, _ := BFS(g, 0)
+	if dist[2] != -1 || dist[3] != -1 {
+		t.Errorf("unreachable nodes should have dist -1, got %v", dist)
+	}
+	if HopCount(g, 0, 3) != -1 {
+		t.Error("HopCount to unreachable should be -1")
+	}
+	if _, conn := Eccentricity(g, 0); conn {
+		t.Error("Eccentricity should report disconnected")
+	}
+}
+
+func TestPathReconstruction(t *testing.T) {
+	g := adjGraph{{1, 2}, {0, 3}, {0, 3}, {1, 2}}
+	_, parent := BFS(g, 0)
+	p := Path(parent, 0, 3)
+	if len(p) != 3 || p[0] != 0 || p[2] != 3 {
+		t.Errorf("path = %v", p)
+	}
+	if p[1] != 1 && p[1] != 2 {
+		t.Errorf("middle hop %d not a neighbor of both ends", p[1])
+	}
+	if got := Path(parent, 0, 0); len(got) != 1 || got[0] != 0 {
+		t.Errorf("self path = %v", got)
+	}
+	g2 := adjGraph{{}, {}}
+	_, parent2 := BFS(g2, 0)
+	if Path(parent2, 0, 1) != nil {
+		t.Error("unreachable path should be nil")
+	}
+}
+
+func TestEccentricity(t *testing.T) {
+	g := adjGraph{{1}, {0, 2}, {1, 3}, {2}}
+	ecc, conn := Eccentricity(g, 1)
+	if !conn || ecc != 2 {
+		t.Errorf("ecc = %d conn = %v, want 2 true", ecc, conn)
+	}
+}
+
+func TestGridGraphMatchesManhattan(t *testing.T) {
+	grid := geom.NewSquareGrid(5, 5)
+	gg := GridGraph{G: grid}
+	src := grid.Index(geom.Coord{Col: 1, Row: 2})
+	dist, _ := BFS(gg, src)
+	for _, c := range grid.Coords() {
+		want := (geom.Coord{Col: 1, Row: 2}).Manhattan(c)
+		if dist[grid.Index(c)] != want {
+			t.Errorf("dist to %v = %d, want %d", c, dist[grid.Index(c)], want)
+		}
+	}
+}
+
+func TestXYRouteMinimal(t *testing.T) {
+	grid := geom.NewSquareGrid(8, 8)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 500; i++ {
+		src := geom.Coord{Col: rng.Intn(8), Row: rng.Intn(8)}
+		dst := geom.Coord{Col: rng.Intn(8), Row: rng.Intn(8)}
+		route := XYRoute(grid, src, dst)
+		if len(route) != src.Manhattan(dst)+1 {
+			t.Fatalf("route %v->%v has %d nodes, want %d", src, dst, len(route), src.Manhattan(dst)+1)
+		}
+		if route[0] != src || route[len(route)-1] != dst {
+			t.Fatalf("route endpoints wrong: %v", route)
+		}
+		for j := 1; j < len(route); j++ {
+			if route[j-1].Manhattan(route[j]) != 1 {
+				t.Fatalf("route %v has non-adjacent step at %d", route, j)
+			}
+			if !grid.InBounds(route[j]) {
+				t.Fatalf("route leaves grid at %v", route[j])
+			}
+		}
+	}
+}
+
+func TestXYRouteColumnFirst(t *testing.T) {
+	grid := geom.NewSquareGrid(4, 4)
+	route := XYRoute(grid, geom.Coord{Col: 0, Row: 0}, geom.Coord{Col: 2, Row: 2})
+	// Column moves must all precede row moves.
+	want := []geom.Coord{{Col: 0, Row: 0}, {Col: 1, Row: 0}, {Col: 2, Row: 0}, {Col: 2, Row: 1}, {Col: 2, Row: 2}}
+	if len(route) != len(want) {
+		t.Fatalf("route = %v", route)
+	}
+	for i := range want {
+		if route[i] != want[i] {
+			t.Fatalf("route = %v, want %v", route, want)
+		}
+	}
+}
+
+func TestXYRouteOutOfBoundsPanics(t *testing.T) {
+	grid := geom.NewSquareGrid(4, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-bounds endpoint should panic")
+		}
+	}()
+	XYRoute(grid, geom.Coord{Col: 0, Row: 0}, geom.Coord{Col: 4, Row: 0})
+}
+
+func TestNextHopXY(t *testing.T) {
+	cases := []struct {
+		src, dst geom.Coord
+		want     geom.Dir
+		ok       bool
+	}{
+		{geom.Coord{Col: 0, Row: 0}, geom.Coord{Col: 3, Row: 0}, geom.East, true},
+		{geom.Coord{Col: 3, Row: 0}, geom.Coord{Col: 0, Row: 0}, geom.West, true},
+		{geom.Coord{Col: 1, Row: 0}, geom.Coord{Col: 1, Row: 4}, geom.South, true},
+		{geom.Coord{Col: 1, Row: 4}, geom.Coord{Col: 1, Row: 0}, geom.North, true},
+		// Column takes priority over row.
+		{geom.Coord{Col: 0, Row: 0}, geom.Coord{Col: 1, Row: 1}, geom.East, true},
+		{geom.Coord{Col: 2, Row: 2}, geom.Coord{Col: 2, Row: 2}, geom.North, false},
+	}
+	for _, c := range cases {
+		d, ok := NextHopXY(c.src, c.dst)
+		if ok != c.ok || (ok && d != c.want) {
+			t.Errorf("NextHopXY(%v,%v) = %v,%v want %v,%v", c.src, c.dst, d, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestTableRoutesAreShortest(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	nw := deploy.New(150, geom.Rect{MinX: 0, MinY: 0, MaxX: 50, MaxY: 50}, 10, deploy.UniformRandom{}, rng)
+	if !nw.Connected() {
+		t.Skip("random deployment disconnected; adjust seed")
+	}
+	tab := NewTable(nw)
+	for trial := 0; trial < 50; trial++ {
+		src, dst := rng.Intn(nw.N()), rng.Intn(nw.N())
+		route := tab.Route(src, dst)
+		if route == nil {
+			t.Fatalf("no route %d->%d in connected graph", src, dst)
+		}
+		want := HopCount(nw, src, dst)
+		if len(route)-1 != want {
+			t.Errorf("route %d->%d has %d hops, shortest is %d", src, dst, len(route)-1, want)
+		}
+		for j := 1; j < len(route); j++ {
+			adjacent := false
+			for _, n := range nw.Neighbors(route[j-1]) {
+				if n == route[j] {
+					adjacent = true
+				}
+			}
+			if !adjacent {
+				t.Fatalf("route step %d->%d not an edge", route[j-1], route[j])
+			}
+		}
+	}
+}
+
+func TestTableSelfAndUnreachable(t *testing.T) {
+	g := adjGraph{{1}, {0}, {}}
+	tab := NewTable(g)
+	if tab.NextHop(1, 1) != 1 {
+		t.Error("NextHop to self should return self")
+	}
+	if tab.NextHop(0, 2) != -1 {
+		t.Error("NextHop to unreachable should be -1")
+	}
+	if tab.Route(0, 2) != nil {
+		t.Error("Route to unreachable should be nil")
+	}
+	if r := tab.Route(2, 2); len(r) != 1 || r[0] != 2 {
+		t.Errorf("self route = %v", r)
+	}
+}
+
+func TestTableCaching(t *testing.T) {
+	g := adjGraph{{1}, {0, 2}, {1}}
+	tab := NewTable(g)
+	if tab.NextHop(0, 2) != 1 {
+		t.Error("first lookup wrong")
+	}
+	// Second lookup uses the cache; answer must be identical.
+	if tab.NextHop(0, 2) != 1 {
+		t.Error("cached lookup wrong")
+	}
+	if len(tab.toward) != 1 {
+		t.Errorf("cache should hold 1 destination, holds %d", len(tab.toward))
+	}
+}

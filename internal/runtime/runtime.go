@@ -1,0 +1,322 @@
+// Package runtime executes synthesized programs with one goroutine per
+// virtual node over a channel-based message fabric — the concurrent
+// counterpart of the deterministic machine in internal/varch. The paper's
+// program model is asynchronous message passing with unpredictable delivery
+// and possible loss (Section 4.3); here delivery order is whatever the Go
+// scheduler produces, which makes every run a fresh adversarial schedule.
+// Agreement between this engine and the discrete-event machine on final
+// results (tested in E2) is evidence that the synthesized program really is
+// order-independent, not just correct under one scheduler.
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wsnva/internal/cost"
+	"wsnva/internal/field"
+	"wsnva/internal/geom"
+	"wsnva/internal/program"
+	"wsnva/internal/regions"
+	"wsnva/internal/routing"
+	"wsnva/internal/synth"
+	"wsnva/internal/varch"
+)
+
+// Config tunes a concurrent run.
+type Config struct {
+	// Loss is the per-message drop probability in [0,1).
+	Loss float64
+	// Retries is the number of retransmissions attempted per message after
+	// a loss (a simple stop-and-wait ARQ: each attempt is an independent
+	// loss trial; every attempt pays the full route energy, and a successful
+	// delivery pays one extra unit-sized acknowledgment along the reverse
+	// route). Zero reproduces the paper's bare best-effort model; the E7
+	// extension sweeps this knob to show reliability restoring completion.
+	Retries int
+	// Seed drives the loss coin flips (per-sender streams derived from it).
+	Seed int64
+	// StallPoll is how often the supervisor checks for global quiescence;
+	// zero means 200µs.
+	StallPoll time.Duration
+	// MaxWait bounds the wall-clock run time; zero means 30s.
+	MaxWait time.Duration
+}
+
+// Result is the outcome of one concurrent round.
+type Result struct {
+	// Final is the exfiltrated summary, or nil if the round stalled
+	// (possible only under message loss).
+	Final *regions.Summary
+	// Stalled reports that the network reached quiescence without
+	// exfiltration — some summary was lost in transit.
+	Stalled bool
+	// Delivered and Dropped count level-k leader messages.
+	Delivered, Dropped int64
+	// RuleFirings is the total guarded-command firings across nodes.
+	RuleFirings int64
+	// RootCoverage is the number of grid cells the root's best partial
+	// summary covers — the "how much of the map survived" measure for lossy
+	// rounds. Equals N on success.
+	RootCoverage int
+}
+
+// Runtime executes labeling rounds on a hierarchy with goroutine-per-node
+// concurrency.
+type Runtime struct {
+	hier *varch.Hierarchy
+}
+
+// New returns a runtime for the given hierarchy.
+func New(h *varch.Hierarchy) *Runtime { return &Runtime{hier: h} }
+
+type envelope struct {
+	payload any
+}
+
+// nodeFx implements program.Effector over the channel fabric.
+type nodeFx struct {
+	rt     *run
+	coord  geom.Coord
+	rng    *rand.Rand
+	energy []int64 // shared atomic per-node energy counters
+	grid   *geom.Grid
+}
+
+type run struct {
+	hier    *varch.Hierarchy
+	inboxes []chan envelope
+	pending atomic.Int64
+	stop    chan struct{}
+	// results accumulates exfiltrated values in arrival order.
+	resultMu sync.Mutex
+	results  []any
+
+	delivered atomic.Int64
+	dropped   atomic.Int64
+	loss      float64
+	retries   int
+}
+
+func (f *nodeFx) Send(level int, size int64, payload any) {
+	dst := f.rt.hier.LeaderAt(f.coord, level)
+	route := routing.XYRoute(f.grid, f.coord, dst)
+	// chargeRoute mirrors the DES machine's hop-by-hop accounting, so loss-
+	// and retry-free runs produce identical ledgers across engines.
+	chargeRoute := func(units int64) {
+		for i := 1; i < len(route); i++ {
+			atomic.AddInt64(&f.energy[f.grid.Index(route[i-1])], units) // tx
+			atomic.AddInt64(&f.energy[f.grid.Index(route[i])], units)   // rx
+		}
+	}
+	delivered := false
+	for attempt := 0; attempt <= f.rt.retries; attempt++ {
+		chargeRoute(size)
+		if f.rt.loss > 0 && f.rng.Float64() < f.rt.loss {
+			f.rt.dropped.Add(1)
+			continue
+		}
+		delivered = true
+		if attempt > 0 || f.rt.retries > 0 {
+			chargeRoute(1) // the acknowledgment that stops retransmission
+		}
+		break
+	}
+	if !delivered {
+		return
+	}
+	f.rt.delivered.Add(1)
+	f.rt.pending.Add(1)
+	select {
+	case f.rt.inboxes[f.grid.Index(dst)] <- envelope{payload: payload}:
+	case <-f.rt.stop:
+		f.rt.pending.Add(-1)
+	}
+}
+
+func (f *nodeFx) Exfiltrate(result any) {
+	f.rt.resultMu.Lock()
+	f.rt.results = append(f.rt.results, result)
+	f.rt.resultMu.Unlock()
+}
+
+func (f *nodeFx) Compute(units int64) {
+	atomic.AddInt64(&f.energy[f.grid.Index(f.coord)], units)
+}
+
+func (f *nodeFx) Sense(units int64) {
+	atomic.AddInt64(&f.energy[f.grid.Index(f.coord)], units)
+}
+
+// maxQuiescenceSteps mirrors the machine driver's bound.
+const maxQuiescenceSteps = 1 << 16
+
+// Factory produces the synthesized program for one virtual node; the
+// generic engine runs whatever program set a factory defines.
+type Factory func(c geom.Coord) *program.Spec
+
+// GenericResult is the program-agnostic outcome of a concurrent round.
+type GenericResult struct {
+	// Exfiltrated holds everything any node exfiltrated, in arrival order.
+	Exfiltrated []any
+	// Stalled reports quiescence without any exfiltration.
+	Stalled            bool
+	Delivered, Dropped int64
+	RuleFirings        int64
+	// Envs exposes each node's final environment (indexed by grid index)
+	// for post-run inspection; safe to read after Run returns.
+	Envs []*program.Env
+}
+
+// Run executes one labeling round over m. The ledger, if non-nil, receives
+// the per-node energy total as Compute charges (the concurrent engine
+// cannot attribute per-op kinds without serializing, so it reports energy
+// only; totals match the DES engine on loss-free runs).
+func (rt *Runtime) Run(m *field.BinaryMap, ledger *cost.Ledger, cfg Config) (*Result, error) {
+	h := rt.hier
+	g := h.Grid
+	if m.Grid != g {
+		return nil, fmt.Errorf("runtime: map grid and hierarchy grid differ")
+	}
+	factory := func(c geom.Coord) *program.Spec {
+		return synth.LabelingProgram(synth.Config{Hier: h, Coord: c, Sense: synth.SenseFromMap(m, c)})
+	}
+	gr, err := rt.RunProgram(factory, ledger, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Stalled:     gr.Stalled,
+		Delivered:   gr.Delivered,
+		Dropped:     gr.Dropped,
+		RuleFirings: gr.RuleFirings,
+	}
+	if len(gr.Exfiltrated) > 0 {
+		res.Final = gr.Exfiltrated[0].(*regions.Summary)
+		res.Stalled = false
+	}
+	res.RootCoverage = rootCoverageEnv(gr.Envs[g.Index(h.Root())], res.Final)
+	return res, nil
+}
+
+// RunProgram executes one round of an arbitrary synthesized program set
+// with one goroutine per virtual node.
+func (rt *Runtime) RunProgram(factory Factory, ledger *cost.Ledger, cfg Config) (*GenericResult, error) {
+	h := rt.hier
+	g := h.Grid
+	if cfg.Loss < 0 || cfg.Loss >= 1 {
+		return nil, fmt.Errorf("runtime: loss %v out of [0,1)", cfg.Loss)
+	}
+	if cfg.Retries < 0 {
+		return nil, fmt.Errorf("runtime: negative retries %d", cfg.Retries)
+	}
+	n := g.N()
+	r := &run{
+		hier:    h,
+		inboxes: make([]chan envelope, n),
+		stop:    make(chan struct{}),
+		loss:    cfg.Loss,
+		retries: cfg.Retries,
+	}
+	// Inbox capacity: a node receives at most 3 messages per level it
+	// leads, so levels*3+4 can never block a sender for long; capacity
+	// beyond that only decouples schedules further.
+	capacity := 3*h.Levels + 8
+	for i := range r.inboxes {
+		r.inboxes[i] = make(chan envelope, capacity)
+	}
+	energy := make([]int64, n)
+	insts := make([]*program.Instance, n)
+	var wg sync.WaitGroup
+	r.pending.Store(int64(n)) // one unit of start work per node
+
+	for _, c := range g.Coords() {
+		c := c
+		idx := g.Index(c)
+		fx := &nodeFx{
+			rt:     r,
+			coord:  c,
+			rng:    rand.New(rand.NewSource(cfg.Seed ^ int64(idx)*0x9e3779b9)),
+			energy: energy,
+			grid:   g,
+		}
+		insts[idx] = program.NewInstance(factory(c), fx)
+		wg.Add(1)
+		go func(inst *program.Instance, inbox chan envelope) {
+			defer wg.Done()
+			inst.RunToQuiescence(maxQuiescenceSteps)
+			r.pending.Add(-1)
+			for {
+				select {
+				case env := <-inbox:
+					inst.OnMessage(env.payload, maxQuiescenceSteps)
+					r.pending.Add(-1)
+				case <-r.stop:
+					return
+				}
+			}
+		}(insts[idx], r.inboxes[idx])
+	}
+
+	// Supervise: stop at global quiescence (no node processing, no message
+	// in flight) or on wall-clock timeout. Exfiltration is a result, not a
+	// stop condition — generic programs may keep processing afterwards.
+	poll := cfg.StallPoll
+	if poll <= 0 {
+		poll = 200 * time.Microsecond
+	}
+	maxWait := cfg.MaxWait
+	if maxWait <= 0 {
+		maxWait = 30 * time.Second
+	}
+	deadline := time.Now().Add(maxWait)
+	for r.pending.Load() != 0 {
+		if time.Now().After(deadline) {
+			close(r.stop)
+			wg.Wait()
+			return nil, fmt.Errorf("runtime: round did not finish within %v", maxWait)
+		}
+		time.Sleep(poll)
+	}
+	close(r.stop)
+	wg.Wait()
+
+	res := &GenericResult{
+		Exfiltrated: r.results,
+		Stalled:     len(r.results) == 0,
+		Delivered:   r.delivered.Load(),
+		Dropped:     r.dropped.Load(),
+		Envs:        make([]*program.Env, len(insts)),
+	}
+	for i, inst := range insts {
+		res.RuleFirings += inst.Fired()
+		res.Envs[i] = inst.Env
+	}
+	if ledger != nil {
+		for i, e := range energy {
+			ledger.Charge(i, cost.Compute, e)
+		}
+	}
+	return res, nil
+}
+
+// rootCoverageEnv inspects the root's best summary after shutdown.
+func rootCoverageEnv(rootEnv *program.Env, final *regions.Summary) int {
+	if final != nil {
+		return final.CoveredCells()
+	}
+	subs, ok := rootEnv.Objs[synth.VarSubGraph].([]*regions.Summary)
+	if !ok {
+		return 0
+	}
+	best := 0
+	for _, s := range subs {
+		if s != nil && s.CoveredCells() > best {
+			best = s.CoveredCells()
+		}
+	}
+	return best
+}

@@ -1,0 +1,161 @@
+// Package sim is a deterministic discrete-event simulation kernel. The
+// runtime-system protocols of Section 5 (topology emulation, leader
+// election) and the network-level experiments run on it.
+//
+// Determinism: events at equal timestamps fire in scheduling order (a
+// monotone sequence number breaks ties), and all randomness is injected by
+// callers, so a simulation with a fixed seed replays bit-for-bit. This is
+// what lets the test suite assert exact message counts for the Section 5
+// protocols.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is simulated time in cost-model latency units.
+type Time int64
+
+// Event is a unit of scheduled work.
+type Event struct {
+	At   Time
+	Fire func()
+
+	seq int64 // tie-breaker: FIFO among equal timestamps
+	idx int   // heap index, -1 once popped or cancelled
+}
+
+// Cancelled reports whether the event was cancelled or already fired.
+func (e *Event) Cancelled() bool { return e.idx == -1 }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is the simulation engine. The zero value is not usable; call New.
+type Kernel struct {
+	now     Time
+	queue   eventHeap
+	nextSeq int64
+	fired   int64
+	running bool
+}
+
+// New returns an empty kernel at time 0.
+func New() *Kernel {
+	return &Kernel{}
+}
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Fired returns the number of events executed so far.
+func (k *Kernel) Fired() int64 { return k.fired }
+
+// Pending returns the number of events still queued.
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// At schedules fire to run at absolute time t and returns the event handle.
+// Scheduling into the past panics: it is always a protocol bug.
+func (k *Kernel) At(t Time, fire func()) *Event {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling at %d before now %d", t, k.now))
+	}
+	if fire == nil {
+		panic("sim: nil event function")
+	}
+	e := &Event{At: t, Fire: fire, seq: k.nextSeq}
+	k.nextSeq++
+	heap.Push(&k.queue, e)
+	return e
+}
+
+// After schedules fire to run d time units from now.
+func (k *Kernel) After(d Time, fire func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	return k.At(k.now+d, fire)
+}
+
+// Cancel removes a scheduled event. Cancelling an event that already fired
+// or was already cancelled is a no-op.
+func (k *Kernel) Cancel(e *Event) {
+	if e == nil || e.idx == -1 {
+		return
+	}
+	heap.Remove(&k.queue, e.idx)
+	e.idx = -1
+}
+
+// Step fires the single earliest pending event and reports whether one
+// existed.
+func (k *Kernel) Step() bool {
+	if len(k.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&k.queue).(*Event)
+	k.now = e.At
+	k.fired++
+	k.running = true
+	e.Fire()
+	k.running = false
+	return true
+}
+
+// Run fires events until the queue drains and returns the final time.
+func (k *Kernel) Run() Time {
+	for k.Step() {
+	}
+	return k.now
+}
+
+// RunUntil fires events with timestamps ≤ deadline, advances the clock to
+// deadline, and reports whether the queue drained.
+func (k *Kernel) RunUntil(deadline Time) bool {
+	for len(k.queue) > 0 && k.queue[0].At <= deadline {
+		k.Step()
+	}
+	if k.now < deadline {
+		k.now = deadline
+	}
+	return len(k.queue) == 0
+}
+
+// RunLimited fires at most maxEvents events and reports whether the queue
+// drained. It is the guard rail for protocols that could livelock under a
+// buggy configuration.
+func (k *Kernel) RunLimited(maxEvents int64) bool {
+	for i := int64(0); i < maxEvents; i++ {
+		if !k.Step() {
+			return true
+		}
+	}
+	return len(k.queue) == 0
+}

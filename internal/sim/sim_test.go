@@ -1,0 +1,256 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyKernel(t *testing.T) {
+	k := New()
+	if k.Now() != 0 {
+		t.Error("fresh kernel should start at time 0")
+	}
+	if k.Step() {
+		t.Error("Step on empty kernel should return false")
+	}
+	if k.Run() != 0 {
+		t.Error("Run on empty kernel should return 0")
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	k := New()
+	var order []int
+	k.At(30, func() { order = append(order, 3) })
+	k.At(10, func() { order = append(order, 1) })
+	k.At(20, func() { order = append(order, 2) })
+	k.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v, want [1 2 3]", order)
+	}
+	if k.Now() != 30 {
+		t.Errorf("final time = %d, want 30", k.Now())
+	}
+	if k.Fired() != 3 {
+		t.Errorf("fired = %d, want 3", k.Fired())
+	}
+}
+
+func TestFIFOAmongEqualTimes(t *testing.T) {
+	k := New()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		k.At(5, func() { order = append(order, i) })
+	}
+	k.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-time events fired out of scheduling order: pos %d got %d", i, v)
+		}
+	}
+}
+
+func TestAfterRelativeToNow(t *testing.T) {
+	k := New()
+	var fireTime Time
+	k.At(10, func() {
+		k.After(5, func() { fireTime = k.Now() })
+	})
+	k.Run()
+	if fireTime != 15 {
+		t.Errorf("After(5) at t=10 fired at %d, want 15", fireTime)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	k := New()
+	fired := false
+	e := k.At(10, func() { fired = true })
+	if e.Cancelled() {
+		t.Error("fresh event should not be cancelled")
+	}
+	k.Cancel(e)
+	if !e.Cancelled() {
+		t.Error("event should report cancelled")
+	}
+	k.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	k.Cancel(e) // double-cancel is a no-op
+	k.Cancel(nil)
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	k := New()
+	var got []int
+	var events []*Event
+	for i := 0; i < 10; i++ {
+		i := i
+		events = append(events, k.At(Time(i), func() { got = append(got, i) }))
+	}
+	k.Cancel(events[3])
+	k.Cancel(events[7])
+	k.Run()
+	want := []int{0, 1, 2, 4, 5, 6, 8, 9}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSchedulingPastPanics(t *testing.T) {
+	k := New()
+	k.At(10, func() {})
+	k.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past should panic")
+		}
+	}()
+	k.At(5, func() {})
+}
+
+func TestNilFirePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil fire function should panic")
+		}
+	}()
+	New().At(0, nil)
+}
+
+func TestNegativeAfterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay should panic")
+		}
+	}()
+	New().After(-1, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	k := New()
+	var fired []Time
+	for _, tm := range []Time{5, 10, 15, 20} {
+		tm := tm
+		k.At(tm, func() { fired = append(fired, tm) })
+	}
+	drained := k.RunUntil(12)
+	if drained {
+		t.Error("should not drain with events past deadline")
+	}
+	if len(fired) != 2 {
+		t.Errorf("fired %v, want events at 5 and 10 only", fired)
+	}
+	if k.Now() != 12 {
+		t.Errorf("clock should advance to deadline, got %d", k.Now())
+	}
+	if !k.RunUntil(100) {
+		t.Error("should drain")
+	}
+	if len(fired) != 4 {
+		t.Errorf("fired %v", fired)
+	}
+}
+
+func TestRunLimited(t *testing.T) {
+	k := New()
+	count := 0
+	// A self-rescheduling event: unbounded without the limit.
+	var tick func()
+	tick = func() {
+		count++
+		k.After(1, tick)
+	}
+	k.At(0, tick)
+	if k.RunLimited(50) {
+		t.Error("self-perpetuating event should not drain")
+	}
+	if count != 50 {
+		t.Errorf("count = %d, want 50", count)
+	}
+}
+
+func TestCascadingEvents(t *testing.T) {
+	// Events scheduled from within events keep relative order and time.
+	k := New()
+	var log []Time
+	k.At(1, func() {
+		log = append(log, k.Now())
+		k.After(2, func() { log = append(log, k.Now()) })
+		k.After(1, func() { log = append(log, k.Now()) })
+	})
+	k.Run()
+	want := []Time{1, 2, 3}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("log = %v, want %v", log, want)
+		}
+	}
+}
+
+func TestMonotonicClock(t *testing.T) {
+	f := func(delays []uint8) bool {
+		k := New()
+		var times []Time
+		for _, d := range delays {
+			k.At(Time(d), func() { times = append(times, k.Now()) })
+		}
+		k.Run()
+		return sort.SliceIsSorted(times, func(i, j int) bool { return times[i] < times[j] })
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeapStress(t *testing.T) {
+	// Random schedule/cancel interleaving; verify everything not cancelled
+	// fires exactly once, in time order.
+	rng := rand.New(rand.NewSource(42))
+	k := New()
+	firedCount := make(map[int]int)
+	var live []*Event
+	total := 0
+	for i := 0; i < 2000; i++ {
+		id := i
+		e := k.At(Time(rng.Intn(1000)), func() { firedCount[id]++ })
+		total++
+		live = append(live, e)
+		if rng.Intn(4) == 0 && len(live) > 0 {
+			victim := rng.Intn(len(live))
+			k.Cancel(live[victim])
+			live = append(live[:victim], live[victim+1:]...)
+		}
+	}
+	k.Run()
+	if int(k.Fired()) != len(live) {
+		t.Errorf("fired %d events, %d were live", k.Fired(), len(live))
+	}
+	for id, n := range firedCount {
+		if n != 1 {
+			t.Errorf("event %d fired %d times", id, n)
+		}
+	}
+}
+
+func TestPendingCount(t *testing.T) {
+	k := New()
+	k.At(1, func() {})
+	k.At(2, func() {})
+	if k.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2", k.Pending())
+	}
+	k.Step()
+	if k.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", k.Pending())
+	}
+}

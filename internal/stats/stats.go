@@ -1,0 +1,211 @@
+// Package stats provides the small statistics and table-rendering helpers
+// the experiment harness uses to print paper-style result tables.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary holds the usual descriptive statistics of a sample.
+type Summary struct {
+	N                   int
+	Mean, Std, Min, Max float64
+	Median, P95         float64
+}
+
+// Summarize computes descriptive statistics. It panics on an empty sample:
+// an experiment that produced no data is a harness bug.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	for _, x := range xs {
+		s.Mean += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean /= float64(len(xs))
+	for _, x := range xs {
+		d := x - s.Mean
+		s.Std += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(s.Std / float64(len(xs)-1))
+	} else {
+		s.Std = 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Median = Percentile(sorted, 50)
+	s.P95 = Percentile(sorted, 95)
+	return s
+}
+
+// Percentile returns the p-th percentile (0..100) of an already-sorted
+// sample using nearest-rank interpolation.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: empty sample")
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Ratio returns a/b, or NaN when b is zero — convenient for speedup
+// columns without panics on degenerate rows.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return math.NaN()
+	}
+	return a / b
+}
+
+// Correlation returns the Pearson correlation coefficient of two
+// equal-length samples. It panics on length mismatch or n < 2.
+func Correlation(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("stats: length mismatch %d vs %d", len(xs), len(ys)))
+	}
+	if len(xs) < 2 {
+		panic("stats: correlation needs at least 2 points")
+	}
+	var mx, my float64
+	for i := range xs {
+		mx += xs[i]
+		my += ys[i]
+	}
+	mx /= float64(len(xs))
+	my /= float64(len(ys))
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Table accumulates rows for a fixed-width experiment table.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v, floats with 3
+// significant decimals.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+				row[i] = fmt.Sprintf("%.0f", v)
+			} else {
+				row[i] = fmt.Sprintf("%.3f", v)
+			}
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	if len(row) != len(t.Headers) {
+		panic(fmt.Sprintf("stats: row has %d cells for %d headers", len(row), len(t.Headers)))
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC 4180 comma-separated values with a header
+// line; cells containing commas, quotes, or newlines are quoted.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(cell, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,153 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeKnownSample(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 {
+		t.Errorf("N=%d Mean=%v", s.N, s.Mean)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("Min=%v Max=%v", s.Min, s.Max)
+	}
+	// Sample std dev of this classic set is ~2.138.
+	if math.Abs(s.Std-2.13809) > 1e-4 {
+		t.Errorf("Std = %v", s.Std)
+	}
+	if s.Median != 4.5 {
+		t.Errorf("Median = %v", s.Median)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{3})
+	if s.Mean != 3 || s.Std != 0 || s.Median != 3 || s.P95 != 3 {
+		t.Errorf("%+v", s)
+	}
+}
+
+func TestSummarizeInvariants(t *testing.T) {
+	f := func(raw []int8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Mean && s.Mean <= s.Max &&
+			s.Min <= s.Median && s.Median <= s.Max &&
+			s.Median <= s.P95 && s.P95 <= s.Max && s.Std >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarizeEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty sample should panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	cases := map[float64]float64{0: 10, 100: 40, 50: 25, 25: 17.5}
+	for p, want := range cases {
+		if got := Percentile(sorted, p); math.Abs(got-want) > 1e-12 {
+			t.Errorf("P%v = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(6, 3) != 2 {
+		t.Error("ratio")
+	}
+	if !math.IsNaN(Ratio(1, 0)) {
+		t.Error("divide by zero should be NaN")
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if got := Correlation(xs, ys); math.Abs(got-1) > 1e-12 {
+		t.Errorf("perfect correlation = %v", got)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if got := Correlation(xs, neg); math.Abs(got+1) > 1e-12 {
+		t.Errorf("perfect anticorrelation = %v", got)
+	}
+	flat := []float64{5, 5, 5, 5, 5}
+	if !math.IsNaN(Correlation(xs, flat)) {
+		t.Error("zero-variance correlation should be NaN")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch should panic")
+		}
+	}()
+	Correlation(xs, xs[:3])
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("demo", "side", "energy", "ratio")
+	tab.AddRow(4, int64(68), 1.5)
+	tab.AddRow(8, int64(392), 2.0)
+	out := tab.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "side") || !strings.Contains(out, "energy") {
+		t.Error("missing headers")
+	}
+	if !strings.Contains(out, "1.500") {
+		t.Errorf("float formatting wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "2") {
+		t.Error("integral float should render without decimals")
+	}
+	if tab.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tab.NumRows())
+	}
+	csv := tab.CSV()
+	if !strings.HasPrefix(csv, "side,energy,ratio\n") {
+		t.Errorf("csv header wrong: %q", csv)
+	}
+	if !strings.Contains(csv, "4,68,1.500") {
+		t.Errorf("csv row wrong: %q", csv)
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	tab := NewTable("q", "a", "b")
+	tab.AddRow("plain", "1,2,3")
+	tab.AddRow(`say "hi"`, "line\nbreak")
+	csv := tab.CSV()
+	if !strings.Contains(csv, `plain,"1,2,3"`) {
+		t.Errorf("comma cell not quoted: %q", csv)
+	}
+	if !strings.Contains(csv, `"say ""hi""","line`) {
+		t.Errorf("quote cell not escaped: %q", csv)
+	}
+}
+
+func TestTableRowMismatchPanics(t *testing.T) {
+	tab := NewTable("x", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Error("cell count mismatch should panic")
+		}
+	}()
+	tab.AddRow(1)
+}

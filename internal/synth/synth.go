@@ -1,0 +1,287 @@
+// Package synth is the program-synthesis stage of the methodology
+// (Section 4.3): it converts the mapped quad-tree algorithm into the
+// reactive guarded-command program of paper Figure 4, one instance per
+// virtual node, and provides the driver that executes a synthesized
+// program set on the virtual architecture.
+//
+// The generated rule set follows Figure 4 clause for clause, with the
+// indexing made self-consistent (the paper's figure increments recLevel in
+// two places whose interleaving it leaves ambiguous): here a node's
+// recLevel names the highest level of mySubGraph it has completed, a
+// message carries the level its contents must be merged at
+// (mrecLevel = sender's recLevel + 1), and leaders contribute their own
+// quadrant by a local merge rather than a self-message, so every leader
+// waits for exactly the 3 external messages the paper predicts.
+package synth
+
+import (
+	"fmt"
+
+	"wsnva/internal/field"
+	"wsnva/internal/geom"
+	"wsnva/internal/program"
+	"wsnva/internal/regions"
+	"wsnva/internal/sim"
+	"wsnva/internal/varch"
+)
+
+// GraphMsg is the message alphabet of Figure 4: the sender's coordinates,
+// its boundary sub-graph, and the recursion level the data merges at.
+type GraphMsg struct {
+	Sender geom.Coord
+	Sub    *regions.Summary
+	Level  int
+}
+
+// Config parameterizes the synthesized program for one node.
+type Config struct {
+	Hier  *varch.Hierarchy
+	Coord geom.Coord
+	// Sense produces the node's level-0 boundary summary from the sensing
+	// interface ("compute mySubGraph from intra-cell readings").
+	Sense func() *regions.Summary
+}
+
+// State variable names used by the synthesized program. Exported so tests
+// and tools can inspect node state symbolically.
+const (
+	VarStart    = "start"
+	VarTransmit = "transmit"
+	VarDone     = "done"
+	VarRecLevel = "recLevel"
+	VarMaxLevel = "maxrecLevel"
+	VarSubGraph = "mySubGraph"
+	VarMsgsRecv = "msgsReceived"
+)
+
+// LabelingProgram synthesizes the homogeneous-region labeling program for
+// the node at cfg.Coord. The returned Spec is self-contained: it reads and
+// writes only its Env and the Effector.
+func LabelingProgram(cfg Config) *program.Spec {
+	h := cfg.Hier
+	me := cfg.Coord
+	maxLevel := h.Levels
+	spec := &program.Spec{
+		Title: fmt.Sprintf("label-regions@%v", me),
+		Init: func(e *program.Env) {
+			e.Bools[VarStart] = true
+			e.Bools[VarTransmit] = false
+			e.Bools[VarDone] = false
+			e.Ints[VarRecLevel] = 0
+			e.Ints[VarMaxLevel] = int64(maxLevel)
+			e.Objs[VarSubGraph] = make([]*regions.Summary, maxLevel+1)
+			e.Objs[VarMsgsRecv] = make([]int64, maxLevel+1)
+		},
+	}
+
+	subGraph := func(e *program.Env) []*regions.Summary {
+		return e.Objs[VarSubGraph].([]*regions.Summary)
+	}
+	msgsRecv := func(e *program.Env) []int64 {
+		return e.Objs[VarMsgsRecv].([]int64)
+	}
+	mergeAt := func(e *program.Env, level int, sub *regions.Summary) {
+		sg := subGraph(e)
+		if sg[level] == nil {
+			sg[level] = sub
+		} else {
+			sg[level].Merge(sub)
+		}
+	}
+
+	spec.Rules = []program.Rule{
+		{
+			Name:      "start",
+			Condition: "start = true",
+			Effect: "start = false\ncompute mySubGraph[0] from intra-cell readings\n" +
+				"transmit = true",
+			Guard: func(e *program.Env) bool { return e.Bools[VarStart] },
+			Action: func(e *program.Env, fx program.Effector) {
+				e.Bools[VarStart] = false
+				fx.Sense(1)
+				sub := cfg.Sense()
+				fx.Compute(1)
+				mergeAt(e, 0, sub)
+				e.Bools[VarTransmit] = true
+			},
+		},
+		{
+			Name:      "receive",
+			Condition: "received mGraph = {senderCoord, msubGraph, mrecLevel}",
+			Effect:    "merge(msubGraph, mySubGraph[mrecLevel])\nmsgsReceived[mrecLevel]++",
+			Guard:     func(e *program.Env) bool { return e.PeekMsg() != nil },
+			Action: func(e *program.Env, fx program.Effector) {
+				msg := e.TakeMsg().(GraphMsg)
+				fx.Compute(msg.Sub.Size())
+				mergeAt(e, msg.Level, msg.Sub)
+				msgsRecv(e)[msg.Level]++
+			},
+		},
+		{
+			Name:      "transmit",
+			Condition: "transmit = true",
+			Effect: "message = {myCoords, mySubGraph[recLevel], recLevel+1}\n" +
+				"if (recLevel = maxrecLevel)\n  exfiltrate message\n" +
+				"else if (myCoords = Leader(recLevel+1))\n" +
+				"  merge(mySubGraph[recLevel], mySubGraph[recLevel+1]); recLevel++\n" +
+				"else\n  send message to Leader(recLevel+1); halt\ntransmit = false",
+			Guard: func(e *program.Env) bool { return e.Bools[VarTransmit] },
+			Action: func(e *program.Env, fx program.Effector) {
+				e.Bools[VarTransmit] = false
+				level := int(e.Ints[VarRecLevel])
+				sg := subGraph(e)
+				switch {
+				case level == maxLevel:
+					e.Bools[VarDone] = true
+					fx.Exfiltrate(sg[level])
+				case h.LeaderAt(me, level+1) == me:
+					// The self-message of Figure 2's mapping: the parent is
+					// co-located with its NW child, so the contribution is a
+					// local merge, not a transmission.
+					sub := sg[level]
+					sg[level] = nil
+					mergeAt(e, level+1, sub)
+					e.Ints[VarRecLevel] = int64(level + 1)
+				default:
+					sub := sg[level]
+					sg[level] = nil
+					fx.Send(level+1, sub.Size(), GraphMsg{Sender: me, Sub: sub, Level: level + 1})
+					e.Bools[VarDone] = true
+				}
+			},
+		},
+		{
+			Name:      "promote",
+			Condition: "msgsReceived[recLevel] = 3 and not done",
+			Effect:    "transmit = true",
+			Guard: func(e *program.Env) bool {
+				if e.Bools[VarDone] || e.Bools[VarTransmit] {
+					return false
+				}
+				level := int(e.Ints[VarRecLevel])
+				if level == 0 || level > maxLevel {
+					return false
+				}
+				return msgsRecv(e)[level] == 3
+			},
+			Action: func(e *program.Env, fx program.Effector) {
+				// Consume the count so the guard cannot refire at this level.
+				msgsRecv(e)[int(e.Ints[VarRecLevel])] = -1
+				e.Bools[VarTransmit] = true
+			},
+		},
+	}
+	return spec
+}
+
+// SenseFromMap returns a Sense function reading the node's cell from a
+// binary feature map — the simulated sensing interface.
+func SenseFromMap(m *field.BinaryMap, c geom.Coord) func() *regions.Summary {
+	return func() *regions.Summary { return regions.Leaf(m, c) }
+}
+
+// Result is the outcome of one execution round of the synthesized
+// application on the virtual architecture.
+type Result struct {
+	Final       *regions.Summary // the exfiltrated root summary
+	Completion  sim.Time         // kernel time when exfiltration happened
+	RuleFirings int64            // total guarded-command firings
+	// RuleCoverage sums per-rule firings across all nodes, indexed like the
+	// synthesized Spec's rule list (start, receive, transmit, promote).
+	RuleCoverage []int64
+	ExfilCoord   geom.Coord // node that exfiltrated (must be the root)
+}
+
+// machineFx adapts varch.Machine to program.Effector for one node.
+type machineFx struct {
+	vm    *varch.Machine
+	coord geom.Coord
+	out   *Result
+}
+
+func (f *machineFx) Send(level int, size int64, payload any) {
+	f.vm.SendToLeader(f.coord, level, size, payload)
+}
+
+func (f *machineFx) Exfiltrate(result any) {
+	f.out.Final = result.(*regions.Summary)
+	f.out.Completion = f.vm.Kernel().Now()
+	f.out.ExfilCoord = f.coord
+}
+
+func (f *machineFx) Compute(units int64) { f.vm.Compute(f.coord, units) }
+func (f *machineFx) Sense(units int64)   { f.vm.Sense(f.coord, units) }
+
+// maxQuiescenceSteps bounds rule firings per activation; a correct program
+// fires O(levels) rules per event.
+const maxQuiescenceSteps = 1 << 16
+
+// Transport optionally transforms every GraphMsg between transmission and
+// delivery — the hook integration tests use to force each message through
+// the binary wire codec, proving the serialized form carries the protocol.
+type Transport func(GraphMsg) (GraphMsg, error)
+
+// RunOnMachine synthesizes the labeling program for every node of vm's
+// grid, wires the instances to the machine, executes one full round from
+// time 0, and returns the result. It is experiment E2's engine and the
+// reference implementation the goroutine runtime is checked against.
+func RunOnMachine(vm *varch.Machine, m *field.BinaryMap) (*Result, error) {
+	return RunOnMachineWithTransport(vm, m, nil)
+}
+
+// RunOnMachineWithTransport is RunOnMachine with every delivered message
+// passed through transport first (nil means identity).
+func RunOnMachineWithTransport(vm *varch.Machine, m *field.BinaryMap, transport Transport) (*Result, error) {
+	h := vm.Hier
+	if m.Grid != vm.Grid() {
+		return nil, fmt.Errorf("synth: map grid and machine grid differ")
+	}
+	res := &Result{}
+	var transportErr error
+	insts := make([]*program.Instance, h.Grid.N())
+	for _, c := range h.Grid.Coords() {
+		c := c
+		fx := &machineFx{vm: vm, coord: c, out: res}
+		spec := LabelingProgram(Config{Hier: h, Coord: c, Sense: SenseFromMap(m, c)})
+		inst := program.NewInstance(spec, fx)
+		insts[h.Grid.Index(c)] = inst
+		vm.Handle(c, func(msg varch.Message) {
+			payload := msg.Payload
+			if transport != nil {
+				gm, err := transport(payload.(GraphMsg))
+				if err != nil {
+					if transportErr == nil {
+						transportErr = err
+					}
+					return
+				}
+				payload = gm
+			}
+			inst.OnMessage(payload, maxQuiescenceSteps)
+		})
+	}
+	// Start every node at t=0; rule firings schedule the message traffic.
+	for _, inst := range insts {
+		inst.RunToQuiescence(maxQuiescenceSteps)
+	}
+	vm.Kernel().Run()
+	for _, inst := range insts {
+		res.RuleFirings += inst.Fired()
+		for i, n := range inst.FiredByRule() {
+			for len(res.RuleCoverage) <= i {
+				res.RuleCoverage = append(res.RuleCoverage, 0)
+			}
+			res.RuleCoverage[i] += n
+		}
+	}
+	if transportErr != nil {
+		return nil, transportErr
+	}
+	if res.Final == nil {
+		return nil, fmt.Errorf("synth: round did not complete (no exfiltration)")
+	}
+	if res.ExfilCoord != h.Root() {
+		return nil, fmt.Errorf("synth: exfiltration at %v, want root %v", res.ExfilCoord, h.Root())
+	}
+	return res, nil
+}

@@ -1,0 +1,121 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"wsnva/internal/cost"
+	"wsnva/internal/geom"
+	"wsnva/internal/sim"
+	"wsnva/internal/varch"
+)
+
+// gaussStrength builds a detection model around a target at (tc, tr) in
+// cell units with the given radius.
+func gaussStrength(g *geom.Grid, tc, tr, radius float64) func(geom.Coord) float64 {
+	return func(c geom.Coord) float64 {
+		dx := float64(c.Col) - tc
+		dy := float64(c.Row) - tr
+		d2 := dx*dx + dy*dy
+		s := math.Exp(-d2 / (2 * radius * radius))
+		if s < 0.05 {
+			return 0
+		}
+		return s
+	}
+}
+
+func runTrack(t *testing.T, side int, strength func(geom.Coord) float64) (*TrackEstimate, *cost.Ledger) {
+	t.Helper()
+	g := geom.NewSquareGrid(side, float64(side))
+	h := varch.MustHierarchy(g)
+	l := cost.NewLedger(cost.NewUniform(), g.N())
+	vm := varch.NewMachine(h, sim.New(), l)
+	est, err := RunTrackingEpoch(vm, strength)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return est, l
+}
+
+func TestTrackingEstimatesPosition(t *testing.T) {
+	g := geom.NewSquareGrid(16, 16)
+	_ = g
+	for _, target := range []struct{ col, row float64 }{
+		{8, 8}, {3.5, 11.2}, {14, 2}, {0, 0},
+	} {
+		est, _ := runTrack(t, 16, gaussStrength(geom.NewSquareGrid(16, 16), target.col, target.row, 1.5))
+		if !est.Valid {
+			t.Fatalf("target at (%v,%v) undetected", target.col, target.row)
+		}
+		if math.Abs(est.Col-target.col) > 1.0 || math.Abs(est.Row-target.row) > 1.0 {
+			t.Errorf("target (%v,%v): estimate (%.2f,%.2f) off by more than a cell",
+				target.col, target.row, est.Col, est.Row)
+		}
+	}
+}
+
+func TestTrackingNoTargetSilent(t *testing.T) {
+	est, l := runTrack(t, 16, func(geom.Coord) float64 { return 0 })
+	if est.Valid || est.Detectors != 0 {
+		t.Error("no target, no estimate")
+	}
+	if l.Units(cost.Tx) != 0 || l.Units(cost.Compute) != 0 {
+		t.Error("idle tracking network moved data")
+	}
+	if l.Units(cost.Sense) != 256 {
+		t.Errorf("sense units = %d, want one per node", l.Units(cost.Sense))
+	}
+}
+
+func TestTrackingEnergyScalesWithFootprint(t *testing.T) {
+	g := geom.NewSquareGrid(16, 16)
+	_, lSmall := runTrack(t, 16, gaussStrength(g, 8, 8, 1))
+	_, lBig := runTrack(t, 16, gaussStrength(g, 8, 8, 4))
+	if lBig.Metrics().Total <= lSmall.Metrics().Total {
+		t.Errorf("larger detection footprint (%d) should cost more than small (%d)",
+			lBig.Metrics().Total, lSmall.Metrics().Total)
+	}
+}
+
+func TestTrackingFollowsMovingTarget(t *testing.T) {
+	// The estimate must track a target crossing the field: per epoch the
+	// estimate error stays under a cell and the estimate moves monotonically
+	// along the path's axis.
+	g := geom.NewSquareGrid(16, 16)
+	h := varch.MustHierarchy(g)
+	prevCol := -1.0
+	for epoch := 0; epoch <= 6; epoch++ {
+		tc := 2 + float64(epoch)*2 // moves east from col 2 to col 14
+		tr := 7.5
+		vm := varch.NewMachine(h, sim.New(), cost.NewLedger(cost.NewUniform(), g.N()))
+		est, err := RunTrackingEpoch(vm, gaussStrength(g, tc, tr, 1.5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !est.Valid {
+			t.Fatalf("epoch %d: lost the target", epoch)
+		}
+		if math.Abs(est.Col-tc) > 1 || math.Abs(est.Row-tr) > 1 {
+			t.Errorf("epoch %d: estimate (%.2f,%.2f) vs truth (%.1f,%.1f)", epoch, est.Col, est.Row, tc, tr)
+		}
+		if est.Col <= prevCol {
+			t.Errorf("epoch %d: estimate column %v did not advance past %v", epoch, est.Col, prevCol)
+		}
+		prevCol = est.Col
+	}
+}
+
+func TestTrackingWeightIsTotalMass(t *testing.T) {
+	g := geom.NewSquareGrid(8, 8)
+	strength := gaussStrength(g, 4, 4, 2)
+	est, _ := runTrack(t, 8, strength)
+	var want float64
+	for _, c := range g.Coords() {
+		want += float64(int64(strength(c) * 1000))
+	}
+	want /= 1000
+	if math.Abs(est.Weight-want) > 0.01 {
+		t.Errorf("weight %v, want %v", est.Weight, want)
+	}
+}

@@ -1,0 +1,120 @@
+// Package trace is a bounded in-memory event recorder for simulation
+// runs: the machine and drivers emit typed events (transmissions,
+// deliveries, rule firings, exfiltration) into a ring buffer, and tools
+// render the tail as a timeline. Tracing is opt-in and nil-safe: a nil
+// *Tracer ignores every Emit, so instrumented code paths carry no
+// conditionals and (almost) no cost when tracing is off.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"wsnva/internal/sim"
+)
+
+// Kind classifies an event.
+type Kind int
+
+// Event kinds.
+const (
+	Send Kind = iota // a message entered the network
+	Deliver
+	Compute
+	Sense
+	RuleFire
+	Exfiltrate
+	Protocol // runtime-system protocol event (election, adoption, ...)
+	numKinds
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Send:
+		return "send"
+	case Deliver:
+		return "deliver"
+	case Compute:
+		return "compute"
+	case Sense:
+		return "sense"
+	case RuleFire:
+		return "rule"
+	case Exfiltrate:
+		return "exfil"
+	case Protocol:
+		return "proto"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	At     sim.Time
+	Kind   Kind
+	Node   string // node identity, free-form ("<2,3>" or "phys 17")
+	Detail string
+}
+
+// Tracer records events into a fixed-capacity ring. The zero value is not
+// usable; nil is (as a disabled tracer).
+type Tracer struct {
+	ring   []Event
+	next   int
+	filled bool
+	counts [numKinds]int64
+}
+
+// New returns a tracer keeping the last capacity events.
+func New(capacity int) *Tracer {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("trace: capacity %d must be positive", capacity))
+	}
+	return &Tracer{ring: make([]Event, capacity)}
+}
+
+// Emit records an event. Safe on a nil tracer.
+func (t *Tracer) Emit(at sim.Time, kind Kind, node, detail string) {
+	if t == nil {
+		return
+	}
+	t.counts[kind]++
+	t.ring[t.next] = Event{At: at, Kind: kind, Node: node, Detail: detail}
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.filled = true
+	}
+}
+
+// Count returns how many events of the kind were emitted (including ones
+// that have rotated out of the ring). Safe on a nil tracer.
+func (t *Tracer) Count(kind Kind) int64 {
+	if t == nil {
+		return 0
+	}
+	return t.counts[kind]
+}
+
+// Events returns the retained events, oldest first.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	if !t.filled {
+		return append([]Event(nil), t.ring[:t.next]...)
+	}
+	out := make([]Event, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Timeline renders the retained events, one per line, oldest first.
+func (t *Tracer) Timeline() string {
+	var b strings.Builder
+	for _, e := range t.Events() {
+		fmt.Fprintf(&b, "t=%-6d %-8s %-8s %s\n", e.At, e.Kind, e.Node, e.Detail)
+	}
+	return b.String()
+}

@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(1, Send, "a", "x") // must not panic
+	if tr.Count(Send) != 0 {
+		t.Error("nil tracer count should be 0")
+	}
+	if tr.Events() != nil {
+		t.Error("nil tracer events should be nil")
+	}
+}
+
+func TestEmitAndEvents(t *testing.T) {
+	tr := New(10)
+	tr.Emit(1, Send, "<0,0>", "-> <1,0>")
+	tr.Emit(3, Deliver, "<1,0>", "<- <0,0>")
+	tr.Emit(3, RuleFire, "<1,0>", "receive")
+	evts := tr.Events()
+	if len(evts) != 3 {
+		t.Fatalf("got %d events", len(evts))
+	}
+	if evts[0].Kind != Send || evts[0].At != 1 {
+		t.Errorf("first event = %+v", evts[0])
+	}
+	if tr.Count(Send) != 1 || tr.Count(Deliver) != 1 || tr.Count(Compute) != 0 {
+		t.Error("counts wrong")
+	}
+}
+
+func TestRingRotation(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(1, Compute, "n", string(rune('a'+i)))
+	}
+	evts := tr.Events()
+	if len(evts) != 4 {
+		t.Fatalf("retained %d, want 4", len(evts))
+	}
+	// Oldest first: events g, h, i, j.
+	for i, want := range []string{"g", "h", "i", "j"} {
+		if evts[i].Detail != want {
+			t.Errorf("event %d = %q, want %q", i, evts[i].Detail, want)
+		}
+	}
+	if tr.Count(Compute) != 10 {
+		t.Error("count must include rotated-out events")
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	tr := New(8)
+	tr.Emit(5, Exfiltrate, "<0,0>", "final summary")
+	line := tr.Timeline()
+	for _, want := range []string{"t=5", "exfil", "<0,0>", "final summary"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("timeline missing %q: %q", want, line)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		Send: "send", Deliver: "deliver", Compute: "compute",
+		Sense: "sense", RuleFire: "rule", Exfiltrate: "exfil", Protocol: "proto",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+func TestNewPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("capacity 0 should panic")
+		}
+	}()
+	New(0)
+}

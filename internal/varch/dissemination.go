@@ -1,0 +1,72 @@
+package varch
+
+import (
+	"wsnva/internal/geom"
+	"wsnva/internal/sim"
+)
+
+// Downward group communication and synchronization primitives. Section 3.2
+// requires communication primitives "for a set of nodes (collective)"; the
+// related-work discussion points at UW-API, whose region collectives
+// include barrier synchronization. These primitives complete the middleware
+// surface: a leader can disseminate to its whole group, and a group can
+// synchronize at its leader.
+
+// GroupBroadcast delivers a payload from a level-k leader to every member
+// of its group. The dissemination pattern is the reverse of the quad-tree
+// convergecast: the payload descends the sub-hierarchy one level at a time
+// (leader → its 4 level-(k-1) sub-leaders → … → all members), so every
+// transfer is short and the cost is balanced instead of radiating every
+// copy from the leader. Returns the modeled completion latency; handlers
+// of member nodes fire through the normal delivery path.
+func (vm *Machine) GroupBroadcast(leader geom.Coord, level int, size int64, payload any) sim.Time {
+	h := vm.Hier
+	if !h.IsLeader(leader, level) {
+		panic("varch: GroupBroadcast from a non-leader")
+	}
+	var total sim.Time
+	holders := []geom.Coord{leader}
+	for s := level; s >= 1; s-- {
+		var levelLat sim.Time
+		var next []geom.Coord
+		for _, holder := range holders {
+			for _, ch := range h.Children(holder, s) {
+				if ch != holder {
+					_, lat := vm.chargeRoute(holder, ch, size)
+					if lat > levelLat {
+						levelLat = lat
+					}
+				}
+				next = append(next, ch)
+			}
+		}
+		holders = next
+		total += levelLat
+	}
+	// Deliver to every member (including the leader) at the modeled time.
+	for _, m := range h.Followers(leader, level) {
+		m := m
+		msg := Message{From: leader, Size: size, Payload: payload}
+		vm.kernel.At(vm.kernel.Now()+total, func() { vm.deliver(m, msg) })
+	}
+	return total
+}
+
+// Barrier synchronizes a level-k group: every member contributes one unit
+// up the hierarchy (convergecast) and the leader releases the group with a
+// unit broadcast back down. Returns the modeled latency of the full
+// round trip — the group cannot proceed before it. The paper's synchronous
+// execution regime (TDMA) can be built from exactly this primitive.
+func (vm *Machine) Barrier(leader geom.Coord, level int) sim.Time {
+	// Up phase: reuse the reduction gather at unit size.
+	_, up := vm.GroupSum(leader, level, func(geom.Coord) int64 { return 1 }, Convergecast)
+	// Down phase: unit release message along the same structure.
+	down := vm.GroupBroadcast(leader, level, 1, barrierRelease{leader: leader, level: level})
+	return up + down
+}
+
+// barrierRelease is the payload delivered to members when a barrier opens.
+type barrierRelease struct {
+	leader geom.Coord
+	level  int
+}

@@ -1,0 +1,119 @@
+package varch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wsnva/internal/geom"
+)
+
+// Property tests on the group middleware over a 16x16 hierarchy.
+
+func hier16() *Hierarchy { return MustHierarchy(geom.NewSquareGrid(16, 16)) }
+
+// LeaderAt is idempotent and monotone up the hierarchy: the level-k leader
+// of any node is also inside every coarser block containing the node.
+func TestQuickLeaderAtIdempotentMonotone(t *testing.T) {
+	h := hier16()
+	f := func(colRaw, rowRaw, lvlRaw uint8) bool {
+		c := geom.Coord{Col: int(colRaw % 16), Row: int(rowRaw % 16)}
+		level := int(lvlRaw % 5)
+		leader := h.LeaderAt(c, level)
+		if h.LeaderAt(leader, level) != leader {
+			return false // idempotence
+		}
+		for up := level; up <= h.Levels; up++ {
+			if h.LeaderAt(c, up) != h.LeaderAt(leader, up) {
+				return false // monotone: same coarser leaders
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Every node is a follower of exactly one level-k leader, and that leader
+// lists it among its followers.
+func TestQuickFollowerMembershipConsistent(t *testing.T) {
+	h := hier16()
+	f := func(colRaw, rowRaw, lvlRaw uint8) bool {
+		c := geom.Coord{Col: int(colRaw % 16), Row: int(rowRaw % 16)}
+		level := int(lvlRaw % 5)
+		leader := h.LeaderAt(c, level)
+		found := false
+		for _, m := range h.Followers(leader, level) {
+			if m == c {
+				found = true
+			}
+		}
+		return found
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The parent-child relation is consistent: every node's level-k leader is
+// one of the children of its level-(k+1) leader.
+func TestQuickChildrenContainLowerLeader(t *testing.T) {
+	h := hier16()
+	f := func(colRaw, rowRaw, lvlRaw uint8) bool {
+		c := geom.Coord{Col: int(colRaw % 16), Row: int(rowRaw % 16)}
+		level := int(lvlRaw%4) + 1 // [1,4]
+		lower := h.LeaderAt(c, level-1)
+		upper := h.LeaderAt(c, level)
+		for _, ch := range h.Children(upper, level) {
+			if ch == lower {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// FollowerDistance never exceeds the exported worst case and equals the
+// Manhattan distance to the computed leader.
+func TestQuickFollowerDistanceBound(t *testing.T) {
+	h := hier16()
+	f := func(colRaw, rowRaw, lvlRaw uint8) bool {
+		c := geom.Coord{Col: int(colRaw % 16), Row: int(rowRaw % 16)}
+		level := int(lvlRaw % 5)
+		d := h.FollowerDistance(c, level)
+		return d == c.Manhattan(h.LeaderAt(c, level)) && d <= h.MaxFollowerDistance(level)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Morton indices respect the hierarchy: all followers of a level-k leader
+// occupy one contiguous Morton range of length 4^k starting at the
+// leader's own index — the invariant the paper's Figure 3 mapping encodes.
+func TestQuickMortonRangePerBlock(t *testing.T) {
+	h := hier16()
+	f := func(lvlRaw, pickRaw uint8) bool {
+		level := int(lvlRaw % 5)
+		leaders := h.Leaders(level)
+		leader := leaders[int(pickRaw)%len(leaders)]
+		base := geom.MortonIndex(leader)
+		span := 1 << (2 * level)
+		if base%span != 0 {
+			return false
+		}
+		for _, m := range h.Followers(leader, level) {
+			idx := geom.MortonIndex(m)
+			if idx < base || idx >= base+span {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,179 @@
+package varch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wsnva/internal/cost"
+	"wsnva/internal/geom"
+	"wsnva/internal/routing"
+	"wsnva/internal/sim"
+	"wsnva/internal/trace"
+)
+
+// Message is what a virtual node receives through the architecture's
+// communication primitives.
+type Message struct {
+	From    geom.Coord // sender's grid coordinate
+	Size    int64      // size in cost-model data units
+	Payload any        // application contents
+}
+
+// Handler consumes messages arriving at a virtual node.
+type Handler func(m Message)
+
+// Machine is the virtual architecture's abstract machine: an oriented grid
+// of virtual nodes exchanging messages under the uniform cost model. It is
+// deliberately ignorant of the physical network — that is the whole point
+// of the abstraction. Latency is modeled by the simulation kernel: a
+// message of size s sent h hops arrives h·⌈s/b⌉ latency units later, and
+// every hop charges Tx at the forwarding node and Rx at the next, exactly
+// the accounting the paper's analysis assumes.
+type Machine struct {
+	Hier   *Hierarchy
+	kernel *sim.Kernel
+	ledger *cost.Ledger
+
+	handlers []Handler
+	msgs     int64 // messages accepted by Send
+	hops     int64 // total virtual hops traversed
+	tracer   *trace.Tracer
+
+	jitter    sim.Time
+	jitterRNG *rand.Rand
+}
+
+// SetTracer attaches an event tracer (nil disables tracing, the default).
+func (vm *Machine) SetTracer(t *trace.Tracer) { vm.tracer = t }
+
+// SetJitter adds a uniform random extra delay in [0, j] to every message
+// delivery, drawn from rng — a deterministic (seeded) way to exercise the
+// unpredictable-latency environment of Section 4.3 on the DES engine.
+// Energy accounting is unaffected; only delivery times move, so a correct
+// program must produce identical results under any jitter seed (asserted
+// in tests). Zero j disables jitter.
+func (vm *Machine) SetJitter(j sim.Time, rng *rand.Rand) {
+	if j < 0 {
+		panic(fmt.Sprintf("varch: negative jitter %d", j))
+	}
+	if j > 0 && rng == nil {
+		panic("varch: jitter needs a random source")
+	}
+	vm.jitter = j
+	vm.jitterRNG = rng
+}
+
+func (vm *Machine) delay(base sim.Time) sim.Time {
+	if vm.jitter > 0 {
+		base += sim.Time(vm.jitterRNG.Int63n(int64(vm.jitter) + 1))
+	}
+	return base
+}
+
+// NewMachine builds a virtual machine over hierarchy h, driven by kernel
+// and charging ledger (which must track one entry per grid cell).
+func NewMachine(h *Hierarchy, kernel *sim.Kernel, ledger *cost.Ledger) *Machine {
+	if ledger.N() != h.Grid.N() {
+		panic(fmt.Sprintf("varch: ledger tracks %d nodes, grid has %d", ledger.N(), h.Grid.N()))
+	}
+	return &Machine{
+		Hier:     h,
+		kernel:   kernel,
+		ledger:   ledger,
+		handlers: make([]Handler, h.Grid.N()),
+	}
+}
+
+// Grid returns the machine's virtual topology.
+func (vm *Machine) Grid() *geom.Grid { return vm.Hier.Grid }
+
+// Kernel returns the simulation kernel driving the machine.
+func (vm *Machine) Kernel() *sim.Kernel { return vm.kernel }
+
+// Ledger returns the machine's energy ledger.
+func (vm *Machine) Ledger() *cost.Ledger { return vm.ledger }
+
+// Handle installs the receive handler of the virtual node at c.
+func (vm *Machine) Handle(c geom.Coord, h Handler) {
+	vm.handlers[vm.Hier.Grid.Index(c)] = h
+}
+
+// Send is the architecture's point-to-point primitive: it moves a message
+// from one virtual node to another along the XY shortest-path route,
+// charging every hop and delivering after the modeled latency. Sending to
+// self delivers immediately at zero cost (the paper's mapping exploits
+// this: one quad-tree child is always co-located with its parent).
+func (vm *Machine) Send(from, to geom.Coord, size int64, payload any) {
+	g := vm.Hier.Grid
+	if !g.InBounds(from) || !g.InBounds(to) {
+		panic(fmt.Sprintf("varch: send %v->%v out of grid bounds", from, to))
+	}
+	if size < 0 {
+		panic(fmt.Sprintf("varch: negative message size %d", size))
+	}
+	vm.msgs++
+	vm.tracer.Emit(vm.kernel.Now(), trace.Send, from.String(),
+		fmt.Sprintf("-> %v size=%d", to, size))
+	msg := Message{From: from, Size: size, Payload: payload}
+	hops := from.Manhattan(to)
+	if hops == 0 {
+		vm.kernel.After(vm.delay(0), func() { vm.deliver(to, msg) })
+		return
+	}
+	route := routing.XYRoute(g, from, to)
+	for i := 1; i < len(route); i++ {
+		vm.ledger.ChargeTransfer(g.Index(route[i-1]), g.Index(route[i]), size)
+	}
+	vm.hops += int64(hops)
+	base := sim.Time(hops) * sim.Time(vm.ledger.Model().TxLatency(size))
+	vm.kernel.After(vm.delay(base), func() { vm.deliver(to, msg) })
+}
+
+// SendToLeader is the group-communication primitive of Section 3.2: it
+// addresses the sender's level-k leader as a logical entity. The middleware
+// resolves the leader's identity from the sender's own coordinates.
+func (vm *Machine) SendToLeader(from geom.Coord, level int, size int64, payload any) {
+	vm.Send(from, vm.Hier.LeaderAt(from, level), size, payload)
+}
+
+func (vm *Machine) deliver(to geom.Coord, msg Message) {
+	vm.tracer.Emit(vm.kernel.Now(), trace.Deliver, to.String(),
+		fmt.Sprintf("<- %v size=%d", msg.From, msg.Size))
+	if h := vm.handlers[vm.Hier.Grid.Index(to)]; h != nil {
+		h(msg)
+	}
+}
+
+// Compute charges node c for processing units data units and returns the
+// latency the computation occupies.
+func (vm *Machine) Compute(c geom.Coord, units int64) sim.Time {
+	vm.ledger.Charge(vm.Hier.Grid.Index(c), cost.Compute, units)
+	return sim.Time(vm.ledger.Model().ComputeLatency(units))
+}
+
+// Sense charges node c for one sensor sample of the given size.
+func (vm *Machine) Sense(c geom.Coord, units int64) sim.Time {
+	vm.ledger.Charge(vm.Hier.Grid.Index(c), cost.Sense, units)
+	return sim.Time(vm.ledger.Model().ComputeLatency(units))
+}
+
+// Stats returns the machine's cumulative message and hop counters.
+func (vm *Machine) Stats() (msgs, hops int64) { return vm.msgs, vm.hops }
+
+// PredictSendCost returns, without executing anything, the energy and
+// latency the cost model assigns to sending size units from one node to
+// another: energy = 2·size·hops (Tx+Rx per hop), latency = hops·⌈size/b⌉.
+// This is the "rapid first-order performance estimation" the architecture
+// exists to provide (Section 2); experiment E8 checks the prediction
+// against the emulated implementation.
+func (vm *Machine) PredictSendCost(from, to geom.Coord, size int64) (cost.Energy, sim.Time) {
+	hops := int64(from.Manhattan(to))
+	m := vm.ledger.Model()
+	energy := cost.Energy(hops) * (m.EnergyOf(cost.Tx, size) + m.EnergyOf(cost.Rx, size))
+	return energy, sim.Time(hops) * sim.Time(m.TxLatency(size))
+}
+
+// PredictLeaderCost is PredictSendCost for the group primitive.
+func (vm *Machine) PredictLeaderCost(from geom.Coord, level int, size int64) (cost.Energy, sim.Time) {
+	return vm.PredictSendCost(from, vm.Hier.LeaderAt(from, level), size)
+}

@@ -1,0 +1,93 @@
+package varch
+
+import (
+	"wsnva/internal/cost"
+	"wsnva/internal/geom"
+	"wsnva/internal/sim"
+)
+
+// Analytical cost prediction for the collective primitives — the "cost
+// functions ... specified for each primitive" requirement of Section 3.2
+// extended beyond point-to-point sends. Predictions are exact under the
+// machine's execution model (the tests assert predicted == measured), so
+// an algorithm designer can price a gather without running anything.
+
+// PredictReduce returns the energy and latency of a single-unit reduction
+// (GroupSum/Min/Max) over the level-k group led by leader, under strategy
+// strat.
+func (vm *Machine) PredictReduce(leader geom.Coord, level int, strat Strategy) (cost.Energy, sim.Time) {
+	h := vm.Hier
+	m := vm.ledger.Model()
+	perUnitHop := m.EnergyOf(cost.Tx, 1) + m.EnergyOf(cost.Rx, 1)
+	switch strat {
+	case Direct:
+		var energy cost.Energy
+		var maxLat sim.Time
+		members := h.Followers(leader, level)
+		for _, f := range members {
+			if f == leader {
+				continue
+			}
+			hops := f.Manhattan(leader)
+			energy += cost.Energy(hops) * perUnitHop
+			if lat := sim.Time(hops) * sim.Time(m.TxLatency(1)); lat > maxLat {
+				maxLat = lat
+			}
+		}
+		energy += m.EnergyOf(cost.Compute, int64(len(members)-1))
+		return energy, maxLat + sim.Time(m.ComputeLatency(int64(len(members)-1)))
+
+	case Convergecast:
+		var energy cost.Energy
+		var total sim.Time
+		for s := 1; s <= level; s++ {
+			var levelLat sim.Time
+			for _, sub := range h.leadersWithin(leader, level, s) {
+				for _, ch := range h.Children(sub, s) {
+					if ch == sub {
+						continue
+					}
+					hops := ch.Manhattan(sub)
+					energy += cost.Energy(hops) * perUnitHop
+					if lat := sim.Time(hops) * sim.Time(m.TxLatency(1)); lat > levelLat {
+						levelLat = lat
+					}
+				}
+				energy += m.EnergyOf(cost.Compute, 3)
+			}
+			total += levelLat + sim.Time(m.ComputeLatency(3))
+		}
+		return energy, total
+	}
+	panic("varch: unknown strategy")
+}
+
+// PredictBroadcast returns the energy and latency of GroupBroadcast of the
+// given size over the level-k group led by leader.
+func (vm *Machine) PredictBroadcast(leader geom.Coord, level int, size int64) (cost.Energy, sim.Time) {
+	h := vm.Hier
+	m := vm.ledger.Model()
+	perUnitHop := m.EnergyOf(cost.Tx, size) + m.EnergyOf(cost.Rx, size)
+	var energy cost.Energy
+	var total sim.Time
+	holders := []geom.Coord{leader}
+	for s := level; s >= 1; s-- {
+		var levelLat sim.Time
+		var next []geom.Coord
+		for _, holder := range holders {
+			for _, ch := range h.Children(holder, s) {
+				if ch != holder {
+					hops := ch.Manhattan(holder)
+					energy += cost.Energy(hops) * perUnitHop
+					if lat := sim.Time(hops) * sim.Time(m.TxLatency(size)); lat > levelLat {
+						levelLat = lat
+					}
+				}
+				next = append(next, ch)
+			}
+		}
+		holders = next
+		total += levelLat
+	}
+	return energy, total
+}

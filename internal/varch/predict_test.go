@@ -1,0 +1,75 @@
+package varch
+
+import (
+	"testing"
+
+	"wsnva/internal/geom"
+)
+
+// Predicted collective costs must equal measured costs exactly, for every
+// level, strategy, and leader — the Section 3.2 cost-export contract.
+func TestPredictReduceMatchesMeasured(t *testing.T) {
+	for _, side := range []int{4, 8, 16} {
+		for _, strat := range []Strategy{Direct, Convergecast} {
+			vmRef, _, _ := newVM(t, side)
+			h := vmRef.Hier
+			for level := 1; level <= h.Levels; level++ {
+				for _, leader := range h.Leaders(level) {
+					predE, predL := vmRef.PredictReduce(leader, level, strat)
+					vm, _, l := newVM(t, side)
+					_, lat := vm.GroupSum(leader, level, func(geom.Coord) int64 { return 1 }, strat)
+					if l.Metrics().Total != predE {
+						t.Fatalf("side %d %v level %d leader %v: energy %d, predicted %d",
+							side, strat, level, leader, l.Metrics().Total, predE)
+					}
+					if lat != predL {
+						t.Fatalf("side %d %v level %d leader %v: latency %d, predicted %d",
+							side, strat, level, leader, lat, predL)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPredictBroadcastMatchesMeasured(t *testing.T) {
+	for _, side := range []int{4, 8} {
+		for _, size := range []int64{1, 4} {
+			vmRef, _, _ := newVM(t, side)
+			h := vmRef.Hier
+			for level := 1; level <= h.Levels; level++ {
+				for _, leader := range h.Leaders(level) {
+					predE, predL := vmRef.PredictBroadcast(leader, level, size)
+					vm, k, l := newVM(t, side)
+					lat := vm.GroupBroadcast(leader, level, size, nil)
+					k.Run()
+					if l.Metrics().Total != predE {
+						t.Fatalf("side %d size %d level %d: energy %d, predicted %d",
+							side, size, level, l.Metrics().Total, predE)
+					}
+					if lat != predL {
+						t.Fatalf("side %d size %d level %d: latency %d, predicted %d",
+							side, size, level, lat, predL)
+					}
+				}
+			}
+		}
+	}
+}
+
+// The predicted convergecast advantage must have the right asymptotic
+// shape: energy ratio direct/convergecast grows with the level.
+func TestPredictedConvergecastAdvantageGrows(t *testing.T) {
+	vm, _, _ := newVM(t, 16)
+	h := vm.Hier
+	prev := 0.0
+	for level := 2; level <= h.Levels; level++ {
+		dE, _ := vm.PredictReduce(h.Root(), level, Direct)
+		cE, _ := vm.PredictReduce(h.Root(), level, Convergecast)
+		ratio := float64(dE) / float64(cE)
+		if ratio <= prev {
+			t.Errorf("level %d: advantage %v did not grow past %v", level, ratio, prev)
+		}
+		prev = ratio
+	}
+}

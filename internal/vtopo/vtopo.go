@@ -1,0 +1,355 @@
+// Package vtopo implements the topology-emulation protocol of Section 5.1:
+// overlaying the virtual grid on an arbitrary dense deployment. The terrain
+// is partitioned into cells, one per virtual node; each physical node
+// computes its own cell from its coordinates; and a cell-based broadcast
+// protocol fills each node's routing table RT_i : {N,E,S,W} → next hop, so
+// messages can be forwarded between adjacent cells of the oriented grid.
+//
+// Protocol (as in the paper):
+//
+//  1. Localization and neighbor discovery are assumed done: every node
+//     knows its position, its cell, and its one-hop neighbors.
+//  2. Base entries: RT_i[d] is seeded with a direct neighbor lying in the
+//     adjacent cell in direction d, if one exists; otherwise NULL.
+//  3. Every node broadcasts its routing table. A receiver ignores the
+//     message if the sender is in a different cell (messages cross at most
+//     one cell boundary before being suppressed — property (ii)).
+//  4. If a same-cell sender v_j has RT_j[d] ≠ NULL where the receiver's
+//     RT_i[d] = NULL, the receiver sets RT_i[d] = v_j and, having changed,
+//     re-broadcasts.
+//
+// Entries only ever go NULL → set, and each set entry points to a node
+// whose own entry was set strictly earlier, so forwarding chains are
+// acyclic and terminate in the adjacent cell. Path setup in all cells
+// proceeds in parallel (property (i)) and converges after a number of
+// rounds bounded by the longest intra-cell shortest path (property (iii));
+// experiment E5 measures all three properties.
+package vtopo
+
+import (
+	"fmt"
+
+	"wsnva/internal/geom"
+	"wsnva/internal/radio"
+	"wsnva/internal/sim"
+)
+
+// NoNode marks an empty routing-table entry (the paper's NULL).
+const NoNode = -1
+
+// rtMsgSize is the size of a routing-table broadcast in cost-model data
+// units: four direction entries.
+const rtMsgSize = 4
+
+// Table is one node's routing table: the next hop toward the adjacent cell
+// in each direction.
+type Table [geom.NumDirs]int
+
+// rtMsg is the broadcast payload: the sender's cell and table snapshot.
+type rtMsg struct {
+	cell  geom.Coord
+	table Table
+}
+
+// Protocol runs topology emulation over a deployment.
+type Protocol struct {
+	med  *radio.Medium
+	grid *geom.Grid
+
+	cellOf  []geom.Coord // per node
+	tables  []Table
+	dead    []bool
+	pending []bool // broadcast scheduled but not yet sent
+
+	broadcasts int64 // routing-table broadcasts sent
+	suppressed int64 // deliveries ignored for crossing a cell boundary
+	adopted    int64 // table entries learned from neighbors
+	lastChange sim.Time
+}
+
+// New prepares the protocol state over medium med for virtual grid grid.
+// It does not transmit anything; call Run.
+func New(med *radio.Medium, grid *geom.Grid) *Protocol {
+	nw := med.Network()
+	p := &Protocol{
+		med:     med,
+		grid:    grid,
+		cellOf:  make([]geom.Coord, nw.N()),
+		tables:  make([]Table, nw.N()),
+		dead:    make([]bool, nw.N()),
+		pending: make([]bool, nw.N()),
+	}
+	for i := range p.tables {
+		p.cellOf[i] = grid.CellOf(nw.Nodes[i].Pos)
+		for d := range p.tables[i] {
+			p.tables[i][d] = NoNode
+		}
+	}
+	for id := 0; id < nw.N(); id++ {
+		id := id
+		med.Handle(id, func(pkt radio.Packet) { p.onPacket(id, pkt) })
+	}
+	return p
+}
+
+// CellOf returns the cell of physical node id.
+func (p *Protocol) CellOf(id int) geom.Coord { return p.cellOf[id] }
+
+// Table returns node id's routing table (a copy).
+func (p *Protocol) Table(id int) Table { return p.tables[id] }
+
+// seedBase fills node id's base entries from its direct alive neighbors.
+func (p *Protocol) seedBase(id int) {
+	nw := p.med.Network()
+	cell := p.cellOf[id]
+	for d := geom.North; d < geom.NumDirs; d++ {
+		p.tables[id][d] = NoNode
+		adj := cell.Step(d)
+		if !p.grid.InBounds(adj) {
+			continue
+		}
+		for _, nbr := range nw.Neighbors(id) {
+			if !p.dead[nbr] && p.cellOf[nbr] == adj {
+				p.tables[id][d] = nbr
+				break
+			}
+		}
+	}
+}
+
+// scheduleBroadcast queues a routing-table broadcast for node id one
+// latency unit out (the paper's nodes react, they don't transmit
+// instantaneously), collapsing duplicates.
+func (p *Protocol) scheduleBroadcast(id int) {
+	if p.pending[id] || p.dead[id] {
+		return
+	}
+	p.pending[id] = true
+	p.med.Kernel().After(1, func() {
+		p.pending[id] = false
+		if p.dead[id] {
+			return
+		}
+		p.broadcasts++
+		p.med.Broadcast(id, rtMsgSize, rtMsg{cell: p.cellOf[id], table: p.tables[id]})
+	})
+}
+
+func (p *Protocol) onPacket(id int, pkt radio.Packet) {
+	if p.dead[id] || p.dead[pkt.From] {
+		return
+	}
+	msg, ok := pkt.Payload.(rtMsg)
+	if !ok {
+		return // not ours (the medium is shared with other protocols)
+	}
+	if msg.cell != p.cellOf[id] {
+		p.suppressed++ // crossed a cell boundary: suppress
+		return
+	}
+	changed := false
+	for d := geom.North; d < geom.NumDirs; d++ {
+		if p.tables[id][d] == NoNode && msg.table[d] != NoNode {
+			p.tables[id][d] = pkt.From
+			p.adopted++
+			changed = true
+		}
+	}
+	if changed {
+		p.lastChange = p.med.Kernel().Now()
+		p.scheduleBroadcast(id)
+	}
+}
+
+// Run executes the full protocol from scratch: seeds base entries, has
+// every node broadcast once, and drives the kernel until the protocol
+// quiesces. It returns the setup metrics.
+func (p *Protocol) Run() Metrics {
+	start := p.med.Kernel().Now()
+	p.lastChange = start
+	for id := range p.tables {
+		if p.dead[id] {
+			continue
+		}
+		p.seedBase(id)
+		p.scheduleBroadcast(id)
+	}
+	p.med.Kernel().Run()
+	return p.metrics(start)
+}
+
+// Kill marks nodes dead: they neither transmit nor process receptions from
+// now on. (The radio still charges them reception energy for in-flight
+// packets, as real hardware would until power-off.)
+func (p *Protocol) Kill(ids ...int) {
+	for _, id := range ids {
+		p.dead[id] = true
+	}
+}
+
+// RepairIncremental reconverges after failures without a global re-run:
+// only the members of cells that lost a node, plus alive direct neighbors
+// of dead nodes, reset and re-broadcast. Routing chains never leave a cell,
+// so entries elsewhere cannot pass through the dead nodes and stay valid.
+// Experiment E10 compares its cost against a full periodic re-execution.
+func (p *Protocol) RepairIncremental() Metrics {
+	start := p.med.Kernel().Now()
+	p.lastChange = start
+	nw := p.med.Network()
+	affected := make(map[int]bool)
+	deadCells := make(map[geom.Coord]bool)
+	for id, d := range p.dead {
+		if !d {
+			continue
+		}
+		deadCells[p.cellOf[id]] = true
+		for _, nbr := range nw.Neighbors(id) {
+			if !p.dead[nbr] {
+				affected[nbr] = true
+			}
+		}
+	}
+	for id := range p.tables {
+		if !p.dead[id] && deadCells[p.cellOf[id]] {
+			affected[id] = true
+		}
+	}
+	for id := range affected {
+		p.seedBase(id)
+	}
+	for id := range affected {
+		p.scheduleBroadcast(id)
+	}
+	p.med.Kernel().Run()
+	return p.metrics(start)
+}
+
+// Reinforce runs one periodic re-execution round on the current state:
+// every alive node re-broadcasts its table once and the kernel drains.
+// Under a lossy radio a single Run can leave entries unlearned (the
+// broadcast that would have taught them was dropped); the paper's remedy
+// is that "the above protocol should execute periodically", which is
+// exactly this call. Returns the metrics after the round.
+func (p *Protocol) Reinforce() Metrics {
+	start := p.med.Kernel().Now()
+	p.lastChange = start
+	for id := range p.tables {
+		if !p.dead[id] {
+			p.scheduleBroadcast(id)
+		}
+	}
+	p.med.Kernel().Run()
+	return p.metrics(start)
+}
+
+// Metrics summarizes one protocol execution.
+type Metrics struct {
+	Broadcasts  int64    // routing-table broadcasts transmitted
+	Suppressed  int64    // receptions dropped at a cell boundary
+	Adopted     int64    // table entries learned from same-cell neighbors
+	SetupTime   sim.Time // time from start to the last table change
+	Unreachable int      // (node, direction) pairs left NULL toward in-bounds cells
+	Complete    bool     // true when Unreachable == 0
+}
+
+func (p *Protocol) metrics(start sim.Time) Metrics {
+	m := Metrics{
+		Broadcasts: p.broadcasts,
+		Suppressed: p.suppressed,
+		Adopted:    p.adopted,
+	}
+	if p.lastChange > start {
+		m.SetupTime = p.lastChange - start
+	}
+	for id := range p.tables {
+		if p.dead[id] {
+			continue
+		}
+		for d := geom.North; d < geom.NumDirs; d++ {
+			adj := p.cellOf[id].Step(d)
+			if p.grid.InBounds(adj) && p.tables[id][d] == NoNode {
+				m.Unreachable++
+			}
+		}
+	}
+	m.Complete = m.Unreachable == 0
+	return m
+}
+
+// NextHop returns node id's next hop toward the adjacent cell in direction
+// d, or NoNode.
+func (p *Protocol) NextHop(id int, d geom.Dir) int { return p.tables[id][d] }
+
+// ForwardPath follows routing-table entries from node id in direction d
+// until it reaches a node in the adjacent cell, returning the physical hop
+// sequence (excluding id itself). It returns an error if the entry chain is
+// broken, cyclic, or missing — all synthesis-breaking conditions the tests
+// assert never occur after a successful Run.
+func (p *Protocol) ForwardPath(id int, d geom.Dir) ([]int, error) {
+	target := p.cellOf[id].Step(d)
+	if !p.grid.InBounds(target) {
+		return nil, fmt.Errorf("vtopo: no cell %v of %v", target, p.cellOf[id])
+	}
+	var path []int
+	cur := id
+	seen := map[int]bool{id: true}
+	for {
+		next := p.tables[cur][d]
+		if next == NoNode {
+			return nil, fmt.Errorf("vtopo: node %d has no route %v", cur, d)
+		}
+		if p.dead[next] {
+			return nil, fmt.Errorf("vtopo: route %v of %d passes through dead node %d", d, cur, next)
+		}
+		path = append(path, next)
+		if p.cellOf[next] == target {
+			return path, nil
+		}
+		if p.cellOf[next] != p.cellOf[id] {
+			return nil, fmt.Errorf("vtopo: route left the cell at node %d", next)
+		}
+		if seen[next] {
+			return nil, fmt.Errorf("vtopo: routing cycle at node %d", next)
+		}
+		seen[next] = true
+		cur = next
+	}
+}
+
+// RouteCells forwards a message of the given size from physical node id
+// along the sequence of grid cells toward dstCell using XY routing over the
+// emulated topology, charging every physical hop on the medium's ledger via
+// unicast transmissions. It returns the full physical path (excluding the
+// start node) and the number of physical hops, or an error if any routing
+// entry is missing. This is the "user can choose any routing protocol
+// implemented on the oriented grid using the routing table" facility.
+func (p *Protocol) RouteCells(id int, dstCell geom.Coord, size int64) ([]int, error) {
+	if !p.grid.InBounds(dstCell) {
+		return nil, fmt.Errorf("vtopo: destination cell %v out of bounds", dstCell)
+	}
+	var path []int
+	cur := id
+	for p.cellOf[cur] != dstCell {
+		var dir geom.Dir
+		switch {
+		case p.cellOf[cur].Col < dstCell.Col:
+			dir = geom.East
+		case p.cellOf[cur].Col > dstCell.Col:
+			dir = geom.West
+		case p.cellOf[cur].Row < dstCell.Row:
+			dir = geom.South
+		default:
+			dir = geom.North
+		}
+		segment, err := p.ForwardPath(cur, dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, next := range segment {
+			p.med.Unicast(cur, next, size, nil)
+			cur = next
+			path = append(path, next)
+		}
+	}
+	return path, nil
+}

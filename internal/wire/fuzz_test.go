@@ -1,0 +1,71 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"wsnva/internal/field"
+	"wsnva/internal/geom"
+	"wsnva/internal/regions"
+)
+
+// Fuzz targets: the decoders consume radio payloads, i.e. attacker- and
+// noise-controlled bytes, and must never panic; any buffer they accept
+// must re-encode to exactly the accepted bytes (no mushy parses).
+
+func seedCorpus(f *testing.F) {
+	g := geom.NewSquareGrid(8, 8)
+	maps := []*field.BinaryMap{
+		field.Threshold(field.Constant{Value: 0}, g, 0.5, 0),
+		field.Threshold(field.Constant{Value: 1}, g, 0.5, 0),
+		field.Parse(g,
+			"##..#...",
+			"#..##...",
+			"........",
+			"..###...",
+			"..#.#...",
+			"..###...",
+			"#......#",
+			"........",
+		),
+	}
+	for _, m := range maps {
+		f.Add(EncodeSummary(regions.LeafBlock(m, 0, 0, 8, 8)))
+		f.Add(EncodeSummary(regions.LeafBlock(m, 2, 1, 4, 5)))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 1})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+}
+
+func FuzzDecodeSummary(f *testing.F) {
+	seedCorpus(f)
+	g := geom.NewSquareGrid(8, 8)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeSummary(g, data)
+		if err != nil {
+			return
+		}
+		// Accepted input must round-trip byte-for-byte: the format has no
+		// redundant encodings of the same summary.
+		re := EncodeSummary(s)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted %x but re-encoded %x", data, re)
+		}
+	})
+}
+
+func FuzzDecodeGraphMsg(f *testing.F) {
+	seedCorpus(f)
+	g := geom.NewSquareGrid(8, 8)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sender, level, s, err := DecodeGraphMsg(g, data)
+		if err != nil {
+			return
+		}
+		re := EncodeGraphMsg(sender, level, s)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted %x but re-encoded %x", data, re)
+		}
+	})
+}

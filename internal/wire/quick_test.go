@@ -1,0 +1,81 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"wsnva/internal/field"
+	"wsnva/internal/geom"
+	"wsnva/internal/regions"
+)
+
+// Property: every summary derivable from a random map and a random block
+// decomposition round-trips exactly, at exactly the predicted length.
+func TestQuickRoundTripAnyBlock(t *testing.T) {
+	f := func(seed int64, colRaw, widthRaw uint8) bool {
+		g := geom.NewSquareGrid(16, 16)
+		rng := rand.New(rand.NewSource(seed))
+		bits := make([]bool, g.N())
+		for i := range bits {
+			bits[i] = rng.Intn(3) == 0
+		}
+		m := field.FromBits(g, bits)
+		col := int(colRaw % 15)
+		width := int(widthRaw%uint8(16-col)) + 1
+		s := regions.LeafBlock(m, col, 0, width, 16)
+		buf := EncodeSummary(s)
+		if len(buf) != EncodedLen(s) {
+			return false
+		}
+		got, err := DecodeSummary(g, buf)
+		return err == nil && got.Equal(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: single-bit corruption anywhere in the buffer either fails to
+// decode or decodes to a structurally different summary — silent identical
+// decodes of corrupted payloads would mask radio bit errors.
+func TestQuickCorruptionDetectedOrVisible(t *testing.T) {
+	g := geom.NewSquareGrid(8, 8)
+	rng := rand.New(rand.NewSource(7))
+	bits := make([]bool, g.N())
+	for i := range bits {
+		bits[i] = rng.Intn(2) == 0
+	}
+	m := field.FromBits(g, bits)
+	s := regions.LeafBlock(m, 0, 0, 4, 8)
+	orig := EncodeSummary(s)
+	f := func(byteIdx uint16, bit uint8) bool {
+		buf := append([]byte(nil), orig...)
+		buf[int(byteIdx)%len(buf)] ^= 1 << (bit % 8)
+		got, err := DecodeSummary(g, buf)
+		if err != nil {
+			return true // detected
+		}
+		return !got.Equal(s) // visible difference
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: GraphMsg headers survive for all valid coordinates and levels.
+func TestQuickGraphMsgHeader(t *testing.T) {
+	g := geom.NewSquareGrid(16, 16)
+	m := field.Threshold(field.Constant{Value: 0}, g, 0.5, 0)
+	s := regions.LeafBlock(m, 0, 0, 16, 16)
+	f := func(colRaw, rowRaw, levelRaw uint8) bool {
+		sender := geom.Coord{Col: int(colRaw % 16), Row: int(rowRaw % 16)}
+		level := int(levelRaw % 5)
+		buf := EncodeGraphMsg(sender, level, s)
+		gotSender, gotLevel, gotSum, err := DecodeGraphMsg(g, buf)
+		return err == nil && gotSender == sender && gotLevel == level && gotSum.Equal(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,282 @@
+// Package wire defines the binary wire format for the messages the
+// synthesized program exchanges, grounding the cost model's abstract "data
+// units" in real bytes: one data unit is one 32-bit word, and a summary's
+// chargeable Size() is exactly the word count of its encoded region
+// payload.
+//
+// The encoding has two parts:
+//
+//   - the region payload — header, per-region records, and open-boundary
+//     cells — whose length in words equals regions.Summary.Size(), the
+//     quantity every transmission is charged for; and
+//   - the coverage stamp — the summary's covered rectangles. Under the
+//     paper's static quadrant-recursive mapping a receiver can reconstruct
+//     the sender's coverage from the sender's coordinates and the message's
+//     recursion level, so these words are derivable metadata; they travel
+//     for self-containedness but are not charged by the cost model. Tests
+//     pin the exact layout so the two accountings cannot drift apart.
+//
+// Field-width limits (checked at encode time): grid side ≤ 256, so labels
+// fit 16 bits, coordinates 8 bits per axis, and per-region open-boundary
+// counts 15 bits. Realistic deployments are far below these bounds.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"wsnva/internal/geom"
+	"wsnva/internal/regions"
+)
+
+// WordBytes is the size of one cost-model data unit on the wire.
+const WordBytes = 4
+
+// MaxSide is the largest grid side the packed coordinate fields support.
+const MaxSide = 256
+
+var byteOrder = binary.BigEndian
+
+// EncodedLen returns the exact encoded length in bytes of a summary:
+// the chargeable region payload (Size() words) plus the coverage stamp
+// (1 + 2 words per rectangle).
+func EncodedLen(s *regions.Summary) int {
+	return WordBytes * (int(s.Size()) + 1 + 2*s.CoveredRects())
+}
+
+// PayloadWords returns the chargeable word count, which is by construction
+// regions.Summary.Size().
+func PayloadWords(s *regions.Summary) int64 { return s.Size() }
+
+func checkCoord(c geom.Coord) {
+	if c.Col < 0 || c.Col >= MaxSide || c.Row < 0 || c.Row >= MaxSide {
+		panic(fmt.Sprintf("wire: coordinate %v exceeds packed field width (max side %d)", c, MaxSide))
+	}
+}
+
+// packCell packs a grid coordinate into the low 16 bits of a word.
+func packCell(c geom.Coord) uint32 {
+	checkCoord(c)
+	return uint32(c.Col)<<8 | uint32(c.Row)
+}
+
+// unpackCell rejects nonzero padding above the coordinate fields so bit
+// errors in the unused region of a word cannot pass silently.
+func unpackCell(w uint32) (geom.Coord, error) {
+	if w>>16 != 0 {
+		return geom.Coord{}, fmt.Errorf("wire: nonzero padding in cell word %#x", w)
+	}
+	return geom.Coord{Col: int(w >> 8 & 0xff), Row: int(w & 0xff)}, nil
+}
+
+// EncodeSummary serializes s. Layout, in 32-bit words:
+//
+//	[0] region count
+//	[1] total open-boundary cell count (integrity check)
+//	per region (3 words + border):
+//	  w0: label(16) | closed(1) | borderCount(15)
+//	  w1: cell count
+//	  w2: bounding box, 8 bits per field (minCol,minRow,maxCol,maxRow)
+//	  then borderCount border-cell words
+//	coverage stamp:
+//	  [rect count] then per rect: origin word, extent word
+func EncodeSummary(s *regions.Summary) []byte {
+	buf := make([]byte, 0, EncodedLen(s))
+	w := func(v uint32) { buf = byteOrder.AppendUint32(buf, v) }
+
+	regs := s.Regions()
+	totalBorder := 0
+	for _, r := range regs {
+		totalBorder += len(r.Border)
+	}
+	w(uint32(len(regs)))
+	w(uint32(totalBorder))
+	for _, r := range regs {
+		if r.Label >= 1<<16 {
+			panic(fmt.Sprintf("wire: label %d exceeds 16 bits", r.Label))
+		}
+		if len(r.Border) >= 1<<15 {
+			panic(fmt.Sprintf("wire: border count %d exceeds 15 bits", len(r.Border)))
+		}
+		w0 := uint32(r.Label) << 16
+		if r.Closed {
+			w0 |= 1 << 15
+		}
+		w0 |= uint32(len(r.Border))
+		w(w0)
+		w(uint32(r.Cells))
+		checkCoord(geom.Coord{Col: r.Box.MaxCol, Row: r.Box.MaxRow})
+		w(uint32(r.Box.MinCol)<<24 | uint32(r.Box.MinRow)<<16 |
+			uint32(r.Box.MaxCol)<<8 | uint32(r.Box.MaxRow))
+		for _, c := range r.Border {
+			w(packCell(c))
+		}
+	}
+	rects := s.CoveredRectList()
+	w(uint32(len(rects)))
+	for _, r := range rects {
+		w(packCell(geom.Coord{Col: r.Col0, Row: r.Row0}))
+		if r.Cols > MaxSide || r.Rows > MaxSide {
+			panic(fmt.Sprintf("wire: rect extent %dx%d exceeds field width", r.Cols, r.Rows))
+		}
+		w(uint32(r.Cols)<<9 | uint32(r.Rows)) // 9 bits each: extents reach 256
+	}
+	return buf
+}
+
+type decoder struct {
+	buf []byte
+	off int
+}
+
+func (d *decoder) word() (uint32, error) {
+	if d.off+WordBytes > len(d.buf) {
+		return 0, fmt.Errorf("wire: truncated at byte %d of %d", d.off, len(d.buf))
+	}
+	v := byteOrder.Uint32(d.buf[d.off:])
+	d.off += WordBytes
+	return v, nil
+}
+
+// DecodeSummary reconstructs a summary encoded by EncodeSummary, bound to
+// grid g (the grid itself never travels; both ends share the virtual
+// topology by construction). It validates structural integrity: border
+// totals, exact length, and in-bounds cells.
+func DecodeSummary(g *geom.Grid, buf []byte) (*regions.Summary, error) {
+	d := &decoder{buf: buf}
+	nRegions, err := d.word()
+	if err != nil {
+		return nil, err
+	}
+	wantBorder, err := d.word()
+	if err != nil {
+		return nil, err
+	}
+	// Counts are untrusted input: each region needs at least 3 words, so a
+	// count exceeding the remaining buffer is corruption, not a short read.
+	remaining := uint32((len(buf) - d.off) / WordBytes)
+	if nRegions > remaining/3 {
+		return nil, fmt.Errorf("wire: region count %d exceeds buffer capacity", nRegions)
+	}
+	regs := make([]regions.Region, 0, nRegions)
+	gotBorder := uint32(0)
+	prevLabel := -1
+	for i := uint32(0); i < nRegions; i++ {
+		w0, err := d.word()
+		if err != nil {
+			return nil, err
+		}
+		cells, err := d.word()
+		if err != nil {
+			return nil, err
+		}
+		boxw, err := d.word()
+		if err != nil {
+			return nil, err
+		}
+		r := regions.Region{
+			Label:  int(w0 >> 16),
+			Closed: w0>>15&1 == 1,
+			Cells:  int(cells),
+			Box: regions.BBox{
+				MinCol: int(boxw >> 24 & 0xff), MinRow: int(boxw >> 16 & 0xff),
+				MaxCol: int(boxw >> 8 & 0xff), MaxRow: int(boxw & 0xff),
+			},
+		}
+		// Canonical form: region labels strictly increase, so every summary
+		// has exactly one encoding and reordered (corrupted) buffers fail.
+		if r.Label <= prevLabel {
+			return nil, fmt.Errorf("wire: region labels out of order (%d after %d)", r.Label, prevLabel)
+		}
+		prevLabel = r.Label
+		borderCount := w0 & 0x7fff
+		gotBorder += borderCount
+		prevIdx := -1
+		for j := uint32(0); j < borderCount; j++ {
+			cw, err := d.word()
+			if err != nil {
+				return nil, err
+			}
+			c, err := unpackCell(cw)
+			if err != nil {
+				return nil, err
+			}
+			if !g.InBounds(c) {
+				return nil, fmt.Errorf("wire: border cell %v out of grid bounds", c)
+			}
+			if idx := g.Index(c); idx <= prevIdx {
+				return nil, fmt.Errorf("wire: border cells out of order at %v", c)
+			} else {
+				prevIdx = idx
+			}
+			r.Border = append(r.Border, c)
+		}
+		if r.Closed != (borderCount == 0) {
+			return nil, fmt.Errorf("wire: region %d closed flag inconsistent with border count %d", r.Label, borderCount)
+		}
+		regs = append(regs, r)
+	}
+	if gotBorder != wantBorder {
+		return nil, fmt.Errorf("wire: border total %d != header %d", gotBorder, wantBorder)
+	}
+	nRects, err := d.word()
+	if err != nil {
+		return nil, err
+	}
+	if nRects > uint32((len(buf)-d.off)/(2*WordBytes)) {
+		return nil, fmt.Errorf("wire: rect count %d exceeds buffer capacity", nRects)
+	}
+	rects := make([]regions.CoverRect, 0, nRects)
+	for i := uint32(0); i < nRects; i++ {
+		ow, err := d.word()
+		if err != nil {
+			return nil, err
+		}
+		ew, err := d.word()
+		if err != nil {
+			return nil, err
+		}
+		origin, err := unpackCell(ow)
+		if err != nil {
+			return nil, err
+		}
+		if ew>>18 != 0 {
+			return nil, fmt.Errorf("wire: nonzero padding in extent word %#x", ew)
+		}
+		r := regions.CoverRect{
+			Col0: origin.Col, Row0: origin.Row,
+			Cols: int(ew >> 9 & 0x1ff), Rows: int(ew & 0x1ff),
+		}
+		if r.Cols < 1 || r.Rows < 1 || r.Col0+r.Cols > g.Cols || r.Row0+r.Rows > g.Rows {
+			return nil, fmt.Errorf("wire: coverage rect %+v outside the %dx%d grid", r, g.Cols, g.Rows)
+		}
+		rects = append(rects, r)
+	}
+	if d.off != len(buf) {
+		return nil, fmt.Errorf("wire: %d trailing bytes", len(buf)-d.off)
+	}
+	return regions.Reassemble(g, rects, regs), nil
+}
+
+// EncodeGraphMsg serializes a complete program message: the sender's
+// coordinates, the recursion level the payload merges at, and the summary.
+func EncodeGraphMsg(sender geom.Coord, level int, s *regions.Summary) []byte {
+	buf := make([]byte, 0, 2*WordBytes+EncodedLen(s))
+	buf = byteOrder.AppendUint32(buf, packCell(sender))
+	buf = byteOrder.AppendUint32(buf, uint32(level))
+	return append(buf, EncodeSummary(s)...)
+}
+
+// DecodeGraphMsg is the inverse of EncodeGraphMsg.
+func DecodeGraphMsg(g *geom.Grid, buf []byte) (sender geom.Coord, level int, s *regions.Summary, err error) {
+	if len(buf) < 2*WordBytes {
+		return geom.Coord{}, 0, nil, fmt.Errorf("wire: message shorter than header")
+	}
+	sender, err = unpackCell(byteOrder.Uint32(buf))
+	if err != nil {
+		return geom.Coord{}, 0, nil, err
+	}
+	level = int(byteOrder.Uint32(buf[WordBytes:]))
+	s, err = DecodeSummary(g, buf[2*WordBytes:])
+	return sender, level, s, err
+}

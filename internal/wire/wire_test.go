@@ -1,0 +1,183 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+
+	"wsnva/internal/field"
+	"wsnva/internal/geom"
+	"wsnva/internal/regions"
+)
+
+func randomSummary(t *testing.T, side int, seed int64) (*regions.Summary, *geom.Grid) {
+	t.Helper()
+	g := geom.NewSquareGrid(side, float64(side))
+	bits := make([]bool, g.N())
+	rng := rand.New(rand.NewSource(seed))
+	for i := range bits {
+		bits[i] = rng.Intn(3) == 0
+	}
+	m := field.FromBits(g, bits)
+	return regions.LeafBlock(m, 0, 0, side, side), g
+}
+
+func TestRoundTripFullGrid(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		s, g := randomSummary(t, 16, seed)
+		buf := EncodeSummary(s)
+		got, err := DecodeSummary(g, buf)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !got.Equal(s) {
+			t.Fatalf("seed %d: round trip changed the summary", seed)
+		}
+	}
+}
+
+func TestRoundTripPartialCoverage(t *testing.T) {
+	g := geom.NewSquareGrid(8, 8)
+	m := field.Parse(g,
+		"##......",
+		"#.......",
+		"....##..",
+		"....##..",
+		"........",
+		"..#.....",
+		"........",
+		"#######.",
+	)
+	// A summary with open regions (partial coverage keeps borders alive).
+	s := regions.LeafBlock(m, 0, 0, 4, 8)
+	buf := EncodeSummary(s)
+	got, err := DecodeSummary(g, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(s) {
+		t.Fatal("round trip changed an open summary")
+	}
+	// Multi-rect coverage: merge two non-adjacent quadrant summaries.
+	a := regions.LeafBlock(m, 0, 0, 4, 4)
+	b := regions.LeafBlock(m, 4, 4, 4, 4)
+	a.Merge(b)
+	buf = EncodeSummary(a)
+	got, err = DecodeSummary(g, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(a) {
+		t.Fatal("round trip changed a multi-rect summary")
+	}
+	if got.CoveredRects() != 2 {
+		t.Errorf("coverage rects = %d, want 2", got.CoveredRects())
+	}
+}
+
+func TestEncodedLenExactAndChargedSizeMatches(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		s, _ := randomSummary(t, 16, seed)
+		buf := EncodeSummary(s)
+		if len(buf) != EncodedLen(s) {
+			t.Errorf("seed %d: encoded %d bytes, EncodedLen says %d", seed, len(buf), EncodedLen(s))
+		}
+		// The chargeable payload is exactly Size() words; the stamp adds
+		// 1 + 2*rects words on top.
+		payloadBytes := len(buf) - WordBytes*(1+2*s.CoveredRects())
+		if int64(payloadBytes) != s.Size()*WordBytes {
+			t.Errorf("seed %d: payload %d bytes, Size() %d words", seed, payloadBytes, s.Size())
+		}
+		if PayloadWords(s) != s.Size() {
+			t.Error("PayloadWords must equal Size")
+		}
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	s, g := randomSummary(t, 8, 3)
+	buf := EncodeSummary(s)
+	if _, err := DecodeSummary(g, buf[:len(buf)-2]); err == nil {
+		t.Error("truncated buffer should fail")
+	}
+	if _, err := DecodeSummary(g, append(append([]byte(nil), buf...), 0, 0, 0, 0)); err == nil {
+		t.Error("trailing bytes should fail")
+	}
+	// Corrupt the border-total header word.
+	bad := append([]byte(nil), buf...)
+	bad[7] ^= 0xff
+	if _, err := DecodeSummary(g, bad); err == nil {
+		t.Error("border-total mismatch should fail")
+	}
+	if _, err := DecodeSummary(g, nil); err == nil {
+		t.Error("empty buffer should fail")
+	}
+}
+
+func TestDecodedSummaryIsMergeable(t *testing.T) {
+	// A decoded summary must behave identically in merges.
+	g := geom.NewSquareGrid(8, 8)
+	bits := make([]bool, g.N())
+	rng := rand.New(rand.NewSource(9))
+	for i := range bits {
+		bits[i] = rng.Intn(2) == 0
+	}
+	m := field.FromBits(g, bits)
+	left := regions.LeafBlock(m, 0, 0, 4, 8)
+	right := regions.LeafBlock(m, 4, 0, 4, 8)
+	rightWire, err := DecodeSummary(g, EncodeSummary(right))
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := regions.LeafBlock(m, 0, 0, 8, 8)
+	left.Merge(rightWire)
+	if !left.Equal(direct) {
+		t.Error("merge with a wire-decoded summary diverged from direct labeling")
+	}
+}
+
+func TestGraphMsgRoundTrip(t *testing.T) {
+	s, g := randomSummary(t, 16, 11)
+	sender := geom.Coord{Col: 13, Row: 2}
+	buf := EncodeGraphMsg(sender, 3, s)
+	gotSender, gotLevel, gotSum, err := DecodeGraphMsg(g, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSender != sender || gotLevel != 3 {
+		t.Errorf("header = %v level %d", gotSender, gotLevel)
+	}
+	if !gotSum.Equal(s) {
+		t.Error("summary changed")
+	}
+	if _, _, _, err := DecodeGraphMsg(g, buf[:4]); err == nil {
+		t.Error("short message should fail")
+	}
+}
+
+func TestEncodePanicsOnOversizedGrid(t *testing.T) {
+	g := geom.NewSquareGrid(512, 512)
+	m := field.Threshold(field.Constant{Value: 1}, g, 0.5, 0)
+	s := regions.LeafBlock(m, 0, 0, 512, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("coordinates beyond MaxSide should panic")
+		}
+	}()
+	EncodeSummary(s)
+}
+
+func TestEmptySummaryRoundTrip(t *testing.T) {
+	g := geom.NewSquareGrid(4, 4)
+	m := field.Threshold(field.Constant{Value: 0}, g, 0.5, 0)
+	s := regions.LeafBlock(m, 0, 0, 4, 4)
+	got, err := DecodeSummary(g, EncodeSummary(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(s) || got.Count() != 0 {
+		t.Error("empty summary round trip failed")
+	}
+	if len(EncodeSummary(s)) != WordBytes*(2+1+2) {
+		t.Errorf("empty summary should be 5 words, got %d bytes", len(EncodeSummary(s)))
+	}
+}
