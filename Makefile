@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench tables csv report fuzz examples clean
+.PHONY: all build vet test test-short race bench bench-json tables csv report fuzz examples clean
 
 all: build vet test
 
@@ -19,10 +19,17 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/runtime/ .
+	$(GO) test -race ./...
 
+# Micro-benchmarks only (-run=^$$ skips the unit tests), with allocation
+# counts; short benchtime keeps this a quick regression pass. Compare the
+# whole-experiment numbers against the committed BENCH_0.json baseline.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -bench=. -benchmem -benchtime=1x -run=^$$ .
+
+# Refresh the committed per-experiment wall-time/alloc baseline.
+bench-json:
+	$(GO) run ./cmd/benchtab -parallel 1 -bench-json BENCH_0.json > /dev/null
 
 # Regenerate every experiment table (E1-E15, A1-A3).
 tables:

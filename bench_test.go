@@ -6,6 +6,7 @@
 package wsnva_test
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -33,6 +34,7 @@ var quick = experiments.Options{Quick: true}
 // keeps the result alive.
 func benchTable(b *testing.B, f func(experiments.Options) *stats.Table) {
 	b.Helper()
+	b.ReportAllocs()
 	var sink *stats.Table
 	for i := 0; i < b.N; i++ {
 		sink = f(quick)
@@ -71,6 +73,7 @@ func BenchmarkLabelRoundLockstep(b *testing.B) {
 			f := field.RandomBlobs(4, g.Terrain, float64(side)/8, float64(side)/5, rand.New(rand.NewSource(1)))
 			m := field.Threshold(f, g, 0.5, 0)
 			h := varch.MustHierarchy(g)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				l := cost.NewLedger(cost.NewUniform(), g.N())
@@ -92,9 +95,11 @@ func BenchmarkWireCodec(b *testing.B) {
 	}
 	m := field.FromBits(g, bits)
 	s := regions.LeafBlock(m, 0, 0, 16, 32)
+	var buf []byte
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		buf := wire.EncodeSummary(s)
+		buf = wire.AppendSummary(buf[:0], s)
 		if _, err := wire.DecodeSummary(g, buf); err != nil {
 			b.Fatal(err)
 		}
@@ -116,6 +121,7 @@ func BenchmarkTreeBuild(b *testing.B) {
 	if nw == nil {
 		b.Fatal("no connected deployment")
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		l := cost.NewLedger(cost.NewUniform(), nw.N())
@@ -138,6 +144,7 @@ func BenchmarkLabelRoundDES(b *testing.B) {
 			g := geom.NewSquareGrid(side, float64(side))
 			f := field.RandomBlobs(4, g.Terrain, float64(side)/8, float64(side)/5, rand.New(rand.NewSource(1)))
 			m := field.Threshold(f, g, 0.5, 0)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				h := varch.MustHierarchy(g)
@@ -161,6 +168,7 @@ func BenchmarkLabelRoundConcurrent(b *testing.B) {
 			m := field.Threshold(f, g, 0.5, 0)
 			h := varch.MustHierarchy(g)
 			rt := runtime.New(h)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := rt.Run(m, nil, runtime.Config{Seed: int64(i)}); err != nil {
@@ -181,6 +189,7 @@ func BenchmarkSummaryMerge(b *testing.B) {
 		bits[i] = rng.Intn(3) == 0
 	}
 	m := field.FromBits(g, bits)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		left := regions.LeafBlock(m, 0, 0, 16, 32)
@@ -198,6 +207,7 @@ func BenchmarkGroundTruthLabel(b *testing.B) {
 		bits[i] = rng.Intn(3) == 0
 	}
 	m := field.FromBits(g, bits)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if regions.Label(m).Count == 0 {
@@ -214,6 +224,7 @@ func BenchmarkTopologyEmulation(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		l := cost.NewLedger(cost.NewUniform(), nw.N())
@@ -228,6 +239,7 @@ func BenchmarkTopologyEmulation(b *testing.B) {
 // construction for a mid-sized deployment.
 func BenchmarkDeploymentGeneration(b *testing.B) {
 	g := geom.NewSquareGrid(8, 80)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rng := rand.New(rand.NewSource(int64(i)))
@@ -239,14 +251,5 @@ func BenchmarkDeploymentGeneration(b *testing.B) {
 }
 
 func sideName(side int) string {
-	switch side {
-	case 8:
-		return "8x8"
-	case 16:
-		return "16x16"
-	case 32:
-		return "32x32"
-	default:
-		return "grid"
-	}
+	return fmt.Sprintf("%dx%d", side, side)
 }

@@ -1,29 +1,62 @@
 // Command benchtab regenerates every experiment table of the reproduction
 // (E1–E16 plus the A-series ablations) and prints them in order. Run with
 // -quick for trimmed sweeps, -csv for machine-readable stdout, -out to also
-// write one CSV file per experiment, or -only to select experiments by ID.
+// write one CSV file per experiment, -only to select experiments by ID,
+// -parallel to bound the worker pool, or -bench-json to record per-experiment
+// wall time and allocation counts.
 //
 // Usage:
 //
-//	benchtab [-quick] [-csv] [-out results/] [-only E3,E5]
+//	benchtab [-quick] [-csv] [-out results/] [-only E3,E5] [-parallel N] [-bench-json BENCH.json]
+//
+// Parallelism never changes the output: tables are assembled in submission
+// order, and every trial derives its seed from (experiment, side, trial), so
+// -parallel 1 and -parallel 32 emit byte-identical tables.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"time"
 
 	"wsnva/internal/experiments"
+	"wsnva/internal/parallel"
 	"wsnva/internal/stats"
 )
+
+// benchRecord is one experiment's measurement in the -bench-json report.
+type benchRecord struct {
+	ID         string `json:"id"`
+	WallNanos  int64  `json:"wall_ns"`
+	Mallocs    uint64 `json:"mallocs"`
+	BytesAlloc uint64 `json:"bytes_alloc"`
+}
+
+// benchReport is the -bench-json file layout. Metadata pins the conditions
+// the numbers were collected under so later runs compare like with like.
+type benchReport struct {
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	NumCPU     int           `json:"num_cpu"`
+	Workers    int           `json:"workers"`
+	Quick      bool          `json:"quick"`
+	Records    []benchRecord `json:"records"`
+	TotalNanos int64         `json:"total_wall_ns"`
+}
 
 func main() {
 	quick := flag.Bool("quick", false, "trim sweep ranges for a fast pass")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	out := flag.String("out", "", "directory to also write one <ID>.csv file per experiment")
 	only := flag.String("only", "", "comma-separated experiment IDs to run (e.g. E3,E8); empty runs all")
+	nworkers := flag.Int("parallel", 0, "worker pool size; 0 means GOMAXPROCS, 1 forces sequential")
+	benchJSON := flag.String("bench-json", "", "write per-experiment wall time and alloc counts to this JSON file")
 	flag.Parse()
 
 	if *out != "" {
@@ -33,7 +66,8 @@ func main() {
 		}
 	}
 
-	opt := experiments.Options{Quick: *quick}
+	pool := parallel.New(*nworkers)
+	opt := experiments.Options{Quick: *quick, Pool: pool}
 	all := []struct {
 		id  string
 		run func(experiments.Options) *stats.Table
@@ -66,12 +100,60 @@ func main() {
 		}
 	}
 
-	ran := 0
+	picked := all[:0:0]
 	for _, e := range all {
 		if len(selected) > 0 && !selected[e.id] {
 			continue
 		}
-		tab := e.run(opt)
+		picked = append(picked, e)
+	}
+	if len(picked) == 0 {
+		fmt.Fprintf(os.Stderr, "benchtab: no experiment matched -only=%s\n", *only)
+		os.Exit(1)
+	}
+
+	report := benchReport{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Workers:   pool.Workers(),
+		Quick:     *quick,
+	}
+
+	var tables []*stats.Table
+	if *benchJSON != "" {
+		// Measurement mode runs experiments one at a time (trials inside each
+		// still use the pool) so wall times and MemStats deltas attribute to a
+		// single experiment instead of whichever goroutines were live.
+		tables = make([]*stats.Table, len(picked))
+		report.Records = make([]benchRecord, len(picked))
+		start := time.Now()
+		for i, e := range picked {
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			t0 := time.Now()
+			tables[i] = e.run(opt)
+			wall := time.Since(t0)
+			runtime.ReadMemStats(&after)
+			report.Records[i] = benchRecord{
+				ID:         e.id,
+				WallNanos:  wall.Nanoseconds(),
+				Mallocs:    after.Mallocs - before.Mallocs,
+				BytesAlloc: after.TotalAlloc - before.TotalAlloc,
+			}
+		}
+		report.TotalNanos = time.Since(start).Nanoseconds()
+	} else {
+		// Whole experiments fan out across the same pool as their inner
+		// trials; Map collects in submission order so stdout is stable.
+		tables = parallel.Map(pool, len(picked), func(i int) *stats.Table {
+			return picked[i].run(opt)
+		})
+	}
+
+	for i, e := range picked {
+		tab := tables[i]
 		if *csv {
 			fmt.Printf("# %s\n%s\n", e.id, tab.CSV())
 		} else {
@@ -84,10 +166,17 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		ran++
 	}
-	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "benchtab: no experiment matched -only=%s\n", *only)
-		os.Exit(1)
+
+	if *benchJSON != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*benchJSON, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

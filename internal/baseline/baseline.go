@@ -54,10 +54,9 @@ func Run(ledger *cost.Ledger, m *field.BinaryMap, sink geom.Coord) (*regions.Lab
 		}
 		hops := c.Manhattan(sink)
 		st.Messages++
-		route := routing.XYRoute(g, c, sink)
-		for i := 1; i < len(route); i++ {
-			st.TotalEnergy += cost.Energy(ledger.ChargeTransfer(g.Index(route[i-1]), g.Index(route[i]), statusSize))
-		}
+		routing.WalkXY(g, c, sink, func(a, b geom.Coord) {
+			st.TotalEnergy += cost.Energy(ledger.ChargeTransfer(g.Index(a), g.Index(b), statusSize))
+		})
 		if lat := sim.Time(hops) * sim.Time(model.TxLatency(statusSize)); lat > st.Latency {
 			st.Latency = lat
 		}

@@ -194,6 +194,29 @@ func (l *Ledger) Add(other *Ledger) {
 	}
 }
 
+// Total returns the network-wide energy total. Unlike Metrics it neither
+// sorts nor allocates, so per-round loops can poll it cheaply.
+func (l *Ledger) Total() Energy {
+	var t Energy
+	for _, e := range l.energy {
+		t += e
+	}
+	return t
+}
+
+// MaxEnergy returns the hottest node's accumulated energy without the
+// sort-and-copy Metrics performs — the value lifetime loops poll every
+// round.
+func (l *Ledger) MaxEnergy() Energy {
+	var m Energy
+	for _, e := range l.energy {
+		if e > m {
+			m = e
+		}
+	}
+	return m
+}
+
 // Metrics is the set of system-level performance metrics Section 2 lists as
 // derivable from the cost model.
 type Metrics struct {

@@ -24,9 +24,13 @@ func A1MappingAblation(o Options) *stats.Table {
 	tab := stats.NewTable("A1: mapper ablation (one quad-tree round, analytical)",
 		"side", "mapper", "total energy", "latency", "max node energy", "balance")
 	model := cost.NewUniform()
-	for _, side := range sides(o, 8, 16, 32) {
+	ss := sides(o, 8, 16, 32)
+	sweep(o, tab, len(ss), func(i int) rows {
+		side := ss[i]
 		tree := taskgraph.QuadTree(geom.Log2(side), 1)
 		grid := geom.NewSquareGrid(side, float64(side))
+		// The random and local-search mappers share one RNG sequence per
+		// side, so the side is the task unit and the mappers stay inner.
 		rng := rand.New(rand.NewSource(71))
 		random := mapping.RandomMapping(tree, grid, rng)
 		mappers := []struct {
@@ -38,12 +42,14 @@ func A1MappingAblation(o Options) *stats.Table {
 			{"random", random},
 			{"random+ls", mapping.LocalSearch(tree, random, model, 8)},
 		}
+		var out rows
 		for _, m := range mappers {
 			st := mapping.Evaluate(tree, m.a, model)
-			tab.AddRow(side, m.name, int64(st.TotalEnergy), int64(st.Latency),
-				int64(st.MaxNodeEnergy), st.Balance)
+			out = append(out, []any{side, m.name, int64(st.TotalEnergy), int64(st.Latency),
+				int64(st.MaxNodeEnergy), st.Balance})
 		}
-	}
+		return out
+	})
 	return tab
 }
 
@@ -70,11 +76,12 @@ func A2FieldShapes(o Options) *stats.Table {
 	}
 	tab := stats.NewTable("A2: workload shape vs divide-and-conquer cost",
 		"field", "feature cells", "regions", "dc energy", "dc latency", "root summary units")
-	for _, w := range workloads {
+	sweep(o, tab, len(workloads), func(i int) rows {
+		w := workloads[i]
 		res, l := runDES(w.m)
-		tab.AddRow(w.name, w.m.Count(), res.Final.Count(),
-			int64(l.Metrics().Total), int64(res.Completion), res.Final.Size())
-	}
+		return rows{{w.name, w.m.Count(), res.Final.Count(),
+			int64(l.Metrics().Total), int64(res.Completion), res.Final.Size()}}
+	})
 	return tab
 }
 
@@ -118,7 +125,8 @@ func A3CostSensitivity(o Options) *stats.Table {
 	}
 	tab := stats.NewTable(fmt.Sprintf("A3: cost-model sensitivity (%dx%d grid, blob workload)", side, side),
 		"profile", "dc energy", "central energy", "energy ratio", "dc latency", "central latency", "winner")
-	for _, p := range profiles {
+	sweep(o, tab, len(profiles), func(i int) rows {
+		p := profiles[i]
 		m := blobMapFor(side, 101)
 		model := p.model()
 		if err := model.Validate(); err != nil {
@@ -137,10 +145,10 @@ func A3CostSensitivity(o Options) *stats.Table {
 		if int64(lDC.Metrics().Total) < int64(st.TotalEnergy) {
 			winner = "d&c"
 		}
-		tab.AddRow(p.name,
+		return rows{{p.name,
 			int64(lDC.Metrics().Total), int64(st.TotalEnergy),
 			stats.Ratio(float64(st.TotalEnergy), float64(lDC.Metrics().Total)),
-			int64(resDC.Completion), int64(st.Latency), winner)
-	}
+			int64(resDC.Completion), int64(st.Latency), winner}}
+	})
 	return tab
 }

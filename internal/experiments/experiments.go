@@ -22,6 +22,7 @@ import (
 	"wsnva/internal/lockstep"
 	"wsnva/internal/mapping"
 	"wsnva/internal/mission"
+	"wsnva/internal/parallel"
 	"wsnva/internal/regions"
 	"wsnva/internal/runtime"
 	"wsnva/internal/sim"
@@ -31,10 +32,16 @@ import (
 	"wsnva/internal/varch"
 )
 
-// Quick trims sweep ranges for use inside testing.B loops; the full ranges
-// run in cmd/benchtab.
+// Options configures a harness run. Quick trims sweep ranges for use inside
+// testing.B loops; the full ranges run in cmd/benchtab.
 type Options struct {
 	Quick bool
+	// Pool fans the independent rows and trials of each experiment out
+	// across worker goroutines. nil (or a 1-worker pool) runs sequentially.
+	// Results are always emitted in submission order, so the output table
+	// is byte-identical whatever the worker count — the determinism tests
+	// in parallel_test.go pin this.
+	Pool *parallel.Pool
 }
 
 func sides(o Options, full ...int) []int {
@@ -42,6 +49,21 @@ func sides(o Options, full ...int) []int {
 		return full[:2]
 	}
 	return full
+}
+
+// rows is one sweep task's result: zero or more table rows, in the order
+// they should appear.
+type rows [][]any
+
+// sweep fans body out over [0,n) on the options' pool and appends every
+// task's rows to tab in submission (index) order. Each task must be
+// self-contained: fresh ledgers, machines, and RNGs per index.
+func sweep(o Options, tab *stats.Table, n int, body func(i int) rows) {
+	for _, rs := range parallel.Map(o.Pool, n, body) {
+		for _, cells := range rs {
+			tab.AddRow(cells...)
+		}
+	}
 }
 
 // blobMapFor builds the standard workload: a few Gaussian hot spots
@@ -112,7 +134,9 @@ func E1Mapping(o Options) *stats.Table {
 func E2Steps(o Options) *stats.Table {
 	tab := stats.NewTable("E2: Fig 4 program execution — completion vs N",
 		"side", "N", "levels", "t_bounded", "t_bounded/side", "t_solid", "firings", "engines agree")
-	for _, side := range sides(o, 4, 8, 16, 32, 64) {
+	ss := sides(o, 4, 8, 16, 32, 64)
+	sweep(o, tab, len(ss), func(i int) rows {
+		side := ss[i]
 		bounded := boundedMapFor(side)
 		resB, _ := runDES(bounded)
 		solid := field.Threshold(field.Constant{Value: 1}, geom.NewSquareGrid(side, float64(side)), 0.5, 0)
@@ -126,11 +150,11 @@ func E2Steps(o Options) *stats.Table {
 			}
 			agree = fmt.Sprint(rt.Final.Equal(resB.Final))
 		}
-		tab.AddRow(side, side*side, geom.Log2(side),
+		return rows{{side, side * side, geom.Log2(side),
 			int64(resB.Completion),
-			float64(resB.Completion)/float64(side),
-			int64(resS.Completion), resB.RuleFirings, agree)
-	}
+			float64(resB.Completion) / float64(side),
+			int64(resS.Completion), resB.RuleFirings, agree}}
+	})
 	return tab
 }
 
@@ -141,7 +165,9 @@ func E2Steps(o Options) *stats.Table {
 func E3DCvsCentral(o Options) *stats.Table {
 	tab := stats.NewTable("E3: divide-and-conquer vs centralized collection",
 		"side", "dc energy", "central energy", "energy ratio", "dc latency", "central latency", "latency ratio", "winner")
-	for _, side := range sides(o, 4, 8, 16, 32) {
+	ss := sides(o, 4, 8, 16, 32)
+	sweep(o, tab, len(ss), func(i int) rows {
+		side := ss[i]
 		m := blobMapFor(side, 101)
 		resDC, lDC := runDES(m)
 		dcEnergy := float64(lDC.Metrics().Total)
@@ -151,13 +177,13 @@ func E3DCvsCentral(o Options) *stats.Table {
 		if dcEnergy < float64(st.TotalEnergy) {
 			winner = "d&c"
 		}
-		tab.AddRow(side,
+		return rows{{side,
 			int64(dcEnergy), int64(st.TotalEnergy),
 			stats.Ratio(float64(st.TotalEnergy), dcEnergy),
 			int64(resDC.Completion), int64(st.Latency),
 			stats.Ratio(float64(st.Latency), float64(resDC.Completion)),
-			winner)
-	}
+			winner}}
+	})
 	return tab
 }
 
@@ -168,18 +194,20 @@ func E4Balance(o Options) *stats.Table {
 	const budget = cost.Energy(1_000_000)
 	tab := stats.NewTable("E4: energy balance and lifetime",
 		"side", "dc max node", "dc balance", "central max node", "central balance", "dc lifetime", "central lifetime")
-	for _, side := range sides(o, 4, 8, 16, 32) {
+	ss := sides(o, 4, 8, 16, 32)
+	sweep(o, tab, len(ss), func(i int) rows {
+		side := ss[i]
 		m := blobMapFor(side, 101)
 		_, lDC := runDES(m)
 		dcm := lDC.Metrics()
 		lBase := cost.NewLedger(cost.NewUniform(), m.Grid.N())
 		baseline.Run(lBase, m, geom.Coord{})
 		bm := lBase.Metrics()
-		tab.AddRow(side,
+		return rows{{side,
 			int64(dcm.Max), dcm.Balance,
 			int64(bm.Max), bm.Balance,
-			lDC.Lifetime(budget), lBase.Lifetime(budget))
-	}
+			lDC.Lifetime(budget), lBase.Lifetime(budget)}}
+	})
 	return tab
 }
 
@@ -196,22 +224,37 @@ func E9Collectives(o Options) *stats.Table {
 	vals := func(c geom.Coord) int64 { return int64(g.Index(c)) }
 	tab := stats.NewTable(fmt.Sprintf("E9: collective primitive costs on the %dx%d grid", side, side),
 		"primitive", "level", "strategy", "energy", "latency")
+	type combo struct {
+		level int
+		strat varch.Strategy
+	}
+	var combos []combo
 	for level := 1; level <= h.Levels; level++ {
 		for _, strat := range []varch.Strategy{varch.Direct, varch.Convergecast} {
-			for _, prim := range []string{"sum", "sort"} {
-				l := cost.NewLedger(cost.NewUniform(), g.N())
-				vm := varch.NewMachine(h, sim.New(), l)
-				var lat sim.Time
-				switch prim {
-				case "sum":
-					_, lat = vm.GroupSum(h.Root(), level, vals, strat)
-				case "sort":
-					_, lat = vm.GroupSort(h.Root(), level, vals, strat)
-				}
-				tab.AddRow(prim, level, strat.String(), int64(l.Metrics().Total), int64(lat))
-			}
+			combos = append(combos, combo{level, strat})
 		}
 	}
+	sweep(o, tab, len(combos), func(i int) rows {
+		c := combos[i]
+		// One ledger per task, Reset between primitives: the collective
+		// sweep is exactly the per-round reuse pattern the resettable
+		// ledger exists for.
+		l := cost.NewLedger(cost.NewUniform(), g.N())
+		var out rows
+		for _, prim := range []string{"sum", "sort"} {
+			l.Reset()
+			vm := varch.NewMachine(h, sim.New(), l)
+			var lat sim.Time
+			switch prim {
+			case "sum":
+				_, lat = vm.GroupSum(h.Root(), c.level, vals, c.strat)
+			case "sort":
+				_, lat = vm.GroupSort(h.Root(), c.level, vals, c.strat)
+			}
+			out = append(out, []any{prim, c.level, c.strat.String(), int64(l.Metrics().Total), int64(lat)})
+		}
+		return out
+	})
 	return tab
 }
 
@@ -229,30 +272,53 @@ func E7Loss(o Options) *stats.Table {
 	h := varch.MustHierarchy(m.Grid)
 	tab := stats.NewTable("E7: labeling under message loss (8x8 grid)",
 		"loss", "retries", "trials", "completed", "stalled", "avg coverage", "completed correct")
+	type config struct {
+		loss    float64
+		retries int
+	}
+	var cfgs []config
 	for _, loss := range []float64{0, 0.02, 0.05, 0.1, 0.2, 0.3} {
 		for _, retries := range []int{0, 3} {
 			if retries > 0 && loss == 0 {
 				continue // identical to the loss-free best-effort row
 			}
-			completed, correct := 0, 0
-			coverage := 0
-			for trial := 0; trial < trials; trial++ {
-				res, err := runtime.New(h).Run(m, nil,
-					runtime.Config{Loss: loss, Retries: retries, Seed: int64(trial*31 + 7)})
-				if err != nil {
-					panic(err)
-				}
-				coverage += res.RootCoverage
-				if res.Final != nil {
-					completed++
-					if res.Final.Count() == truth {
-						correct++
-					}
+			cfgs = append(cfgs, config{loss, retries})
+		}
+	}
+	// Fan out at trial granularity: every (config, trial) task runs its own
+	// goroutine engine with the trial's fixed seed, and the per-config
+	// aggregation below folds the results back in trial order.
+	type trialResult struct {
+		completed, correct bool
+		coverage           int
+	}
+	results := parallel.Map(o.Pool, len(cfgs)*trials, func(t int) trialResult {
+		cfg, trial := cfgs[t/trials], t%trials
+		res, err := runtime.New(h).Run(m, nil,
+			runtime.Config{Loss: cfg.loss, Retries: cfg.retries, Seed: int64(trial*31 + 7)})
+		if err != nil {
+			panic(err)
+		}
+		out := trialResult{coverage: res.RootCoverage}
+		if res.Final != nil {
+			out.completed = true
+			out.correct = res.Final.Count() == truth
+		}
+		return out
+	})
+	for ci, cfg := range cfgs {
+		completed, correct, coverage := 0, 0, 0
+		for _, r := range results[ci*trials : (ci+1)*trials] {
+			coverage += r.coverage
+			if r.completed {
+				completed++
+				if r.correct {
+					correct++
 				}
 			}
-			tab.AddRow(loss, retries, trials, completed, trials-completed,
-				float64(coverage)/float64(trials), fmt.Sprintf("%d/%d", correct, completed))
 		}
+		tab.AddRow(cfg.loss, cfg.retries, trials, completed, trials-completed,
+			float64(coverage)/float64(trials), fmt.Sprintf("%d/%d", correct, completed))
 	}
 	return tab
 }
@@ -272,7 +338,9 @@ func E14AlarmApp(o Options) *stats.Table {
 	quorum := 4
 	tab := stats.NewTable(fmt.Sprintf("E14: event-driven alarm vs periodic labeling (%dx%d grid, quorum %d)", side, side, quorum),
 		"hot cells", "alarm energy", "alarm raised", "detect latency", "labeling energy")
-	for _, sigma := range []float64{0, 4, 8, 16, 32, 64} {
+	sigmas := []float64{0, 4, 8, 16, 32, 64}
+	sweep(o, tab, len(sigmas), func(i int) rows {
+		sigma := sigmas[i]
 		var m *field.BinaryMap
 		if sigma == 0 {
 			m = field.Threshold(field.Constant{Value: 0}, g, 0.5, 0)
@@ -293,9 +361,9 @@ func E14AlarmApp(o Options) *stats.Table {
 		if res.Raised {
 			latency = fmt.Sprint(res.RaisedAt)
 		}
-		tab.AddRow(m.Count(), int64(alarmLedger.Metrics().Total), res.Raised, latency,
-			int64(labelLedger.Metrics().Total))
-	}
+		return rows{{m.Count(), int64(alarmLedger.Metrics().Total), res.Raised, latency,
+			int64(labelLedger.Metrics().Total)}}
+	})
 	return tab
 }
 
@@ -308,7 +376,9 @@ func E15Lifetime(o Options) *stats.Table {
 	const budget = cost.Energy(20_000)
 	tab := stats.NewTable("E15: simulated lifetime to first node death (budget 20k units/node)",
 		"side", "dc rounds", "central rounds", "dc/central", "dc hot spot", "central hot spot")
-	for _, side := range sides(o, 8, 16) {
+	ss := sides(o, 8, 16)
+	sweep(o, tab, len(ss), func(i int) rows {
+		side := ss[i]
 		g := geom.NewSquareGrid(side, float64(side))
 		phen := field.RandomBlobs(3, g.Terrain, float64(side)/8, float64(side)/5, rand.New(rand.NewSource(5)))
 		out, err := mission.Run(mission.Config{
@@ -327,7 +397,7 @@ func E15Lifetime(o Options) *stats.Table {
 		for centralRounds < 100_000 {
 			m := field.Threshold(phen, g, 0.5, int64(centralRounds*100))
 			baseline.Run(lBase, m, geom.Coord{})
-			if lBase.Metrics().Max > budget {
+			if lBase.MaxEnergy() > budget {
 				break
 			}
 			centralRounds++
@@ -338,10 +408,10 @@ func E15Lifetime(o Options) *stats.Table {
 				centralHot = i
 			}
 		}
-		tab.AddRow(side, out.RoundsSurvived, centralRounds,
+		return rows{{side, out.RoundsSurvived, centralRounds,
 			stats.Ratio(float64(out.RoundsSurvived), float64(centralRounds)),
-			out.HotSpot(g).String(), g.CoordOf(centralHot).String())
-	}
+			out.HotSpot(g).String(), g.CoordOf(centralHot).String()}}
+	})
 	return tab
 }
 
@@ -352,7 +422,9 @@ func E15Lifetime(o Options) *stats.Table {
 func E11SyncSteps(o Options) *stats.Table {
 	tab := stats.NewTable("E11: synchronous engine — store-and-forward rounds vs N",
 		"side", "N", "rounds(bounded)", "rounds(solid)", "rounds/side", "energy = DES")
-	for _, side := range sides(o, 4, 8, 16, 32, 64) {
+	ss := sides(o, 4, 8, 16, 32, 64)
+	sweep(o, tab, len(ss), func(i int) rows {
+		side := ss[i]
 		bounded := boundedMapFor(side)
 		g := bounded.Grid
 		h := varch.MustHierarchy(g)
@@ -369,9 +441,9 @@ func E11SyncSteps(o Options) *stats.Table {
 			panic(err)
 		}
 		_, desLedger := runDES(bounded)
-		tab.AddRow(side, side*side, resB.Rounds, resS.Rounds,
-			float64(resB.Rounds)/float64(side),
-			lb.Metrics().Total == desLedger.Metrics().Total)
-	}
+		return rows{{side, side * side, resB.Rounds, resS.Rounds,
+			float64(resB.Rounds) / float64(side),
+			lb.Metrics().Total == desLedger.Metrics().Total}}
+	})
 	return tab
 }

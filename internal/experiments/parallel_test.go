@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"testing"
+
+	"wsnva/internal/parallel"
+	"wsnva/internal/stats"
+)
+
+// TestParallelTablesByteIdentical pins the engine's central guarantee: the
+// worker pool only changes wall time, never output. Every table generated
+// with a multi-worker pool must serialize byte-for-byte identically to the
+// sequential run, because rows are collected in submission order and every
+// trial's seed derives from its position in the sweep, not from scheduling.
+func TestParallelTablesByteIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		id  string
+		run func(Options) *stats.Table
+	}{
+		{"E2", E2Steps},
+		{"E7", E7Loss},
+		{"E12", E12TreeTopology},
+		{"A3", A3CostSensitivity},
+	} {
+		tc := tc
+		t.Run(tc.id, func(t *testing.T) {
+			seq := tc.run(Options{Quick: true}).CSV()
+			par := tc.run(Options{Quick: true, Pool: parallel.New(4)}).CSV()
+			if seq != par {
+				t.Fatalf("%s: parallel table differs from sequential\n--- sequential ---\n%s\n--- parallel ---\n%s", tc.id, seq, par)
+			}
+		})
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"wsnva/internal/field"
 	"wsnva/internal/flood"
 	"wsnva/internal/geom"
+	"wsnva/internal/parallel"
 	"wsnva/internal/radio"
 	"wsnva/internal/sim"
 	"wsnva/internal/stats"
@@ -50,7 +51,8 @@ func E5Emulation(o Options) *stats.Table {
 	if o.Quick {
 		densities = densities[:2]
 	}
-	for _, d := range densities {
+	sweep(o, tab, len(densities), func(i int) rows {
+		d := densities[i]
 		nw, g, med, _ := physSetup(4, d.perCell, d.txRange, int64(d.perCell)*13)
 		p := vtopo.New(med, g)
 		m := p.Run()
@@ -59,12 +61,12 @@ func E5Emulation(o Options) *stats.Table {
 		if pathLen > 0 {
 			timePerPath = fmt.Sprintf("%.2f", float64(m.SetupTime)/float64(pathLen))
 		}
-		tab.AddRow(d.perCell, nw.N(),
+		return rows{{d.perCell, nw.N(),
 			fmt.Sprintf("%.2f", d.txRange/g.CellSide()),
-			float64(m.Broadcasts)/float64(nw.N()),
+			float64(m.Broadcasts) / float64(nw.N()),
 			int64(m.SetupTime), pathLen, timePerPath,
-			m.Suppressed, m.Complete)
-	}
+			m.Suppressed, m.Complete}}
+	})
 	return tab
 }
 
@@ -77,15 +79,16 @@ func E6Election(o Options) *stats.Table {
 	if o.Quick {
 		densities = densities[:2]
 	}
-	for _, perCell := range densities {
+	sweep(o, tab, len(densities), func(i int) rows {
+		perCell := densities[i]
 		nw, g, med, _ := physSetup(4, perCell, 12, int64(perCell)*17)
 		metric := binding.MinDistance{Network: nw, Grid: g}
 		res := binding.NewElection(med, g, metric).Run()
 		correct := res.Verify(nw, g) == nil
-		tab.AddRow(perCell, nw.N(),
-			float64(res.Broadcasts)/float64(nw.N()),
-			int64(res.Convergence), res.Demotions, correct)
-	}
+		return rows{{perCell, nw.N(),
+			float64(res.Broadcasts) / float64(nw.N()),
+			int64(res.Convergence), res.Demotions, correct}}
+	})
 	return tab
 }
 
@@ -104,7 +107,8 @@ func E8Correspondence(o Options) *stats.Table {
 		gridSides = gridSides[:1]
 	}
 	const msgSize = 4
-	for _, side := range gridSides {
+	sweep(o, tab, len(gridSides), func(gi int) rows {
+		side := gridSides[gi]
 		nw, g, med, l := physSetup(side, 8, 11, 29)
 		p := vtopo.New(med, g)
 		if m := p.Run(); !m.Complete {
@@ -117,6 +121,7 @@ func E8Correspondence(o Options) *stats.Table {
 		}
 		h := varch.MustHierarchy(g)
 		vm := varch.NewMachine(h, sim.New(), cost.NewLedger(cost.NewUniform(), g.N()))
+		var out rows
 		for level := 1; level <= h.Levels; level++ {
 			var virt, phys []float64
 			var predE, measE []float64
@@ -126,13 +131,13 @@ func E8Correspondence(o Options) *stats.Table {
 						continue
 					}
 					pe, _ := vm.PredictLeaderCost(f, level, msgSize)
-					before := l.Metrics().Total
+					before := l.Total()
 					path, err := p.RouteCells(bnd.Leaders[f], leader, msgSize)
 					if err != nil {
 						panic(err)
 					}
 					med.Kernel().Run() // drain deliveries so rx energy lands
-					measured := float64(l.Metrics().Total - before)
+					measured := float64(l.Total() - before)
 					virt = append(virt, float64(f.Manhattan(leader)))
 					phys = append(phys, float64(len(path)))
 					predE = append(predE, float64(pe))
@@ -140,11 +145,12 @@ func E8Correspondence(o Options) *stats.Table {
 				}
 			}
 			vs, ps := stats.Summarize(virt), stats.Summarize(phys)
-			tab.AddRow(fmt.Sprintf("%dx%d", side, side), level, len(virt), vs.Mean, ps.Mean,
+			out = append(out, []any{fmt.Sprintf("%dx%d", side, side), level, len(virt), vs.Mean, ps.Mean,
 				stats.Ratio(ps.Mean, vs.Mean),
-				stats.Correlation(predE, measE))
+				stats.Correlation(predE, measE)})
 		}
-	}
+		return out
+	})
 	return tab
 }
 
@@ -171,52 +177,72 @@ func E12TreeTopology(o Options) *stats.Table {
 		spreads = spreads[:2]
 	}
 	g := geom.NewSquareGrid(8, 100)
-	for _, sp := range spreads {
-		occOK, spans, censusOK := 0, 0, 0
-		maxDepth := 0
-		var treeEnergy, directEnergy int64
-		measured := 0
-		for trial := 0; trial < sp.trials; trial++ {
+	// Per-trial task result; the per-spread row aggregates these in trial
+	// order. The nested fan-out is safe: the pool is a shared semaphore and
+	// the submitting task always works through its own sub-tasks.
+	type trialResult struct {
+		connected, occOK, spans, censusOK bool
+		depth                             int
+		treeEnergy, directEnergy          int64
+	}
+	sweep(o, tab, len(spreads), func(si int) rows {
+		sp := spreads[si]
+		results := parallel.Map(o.Pool, sp.trials, func(trial int) trialResult {
 			rng := rand.New(rand.NewSource(int64(trial)*7 + 3))
 			nw := deploy.New(256, g.Terrain, 18, sp.place, rng)
 			if !nw.Connected() {
-				continue // tree and grid both need connectivity; skip
+				return trialResult{} // tree and grid both need connectivity; skip
 			}
-			if nw.OccupancyOK(g) {
-				occOK++
-			}
+			out := trialResult{connected: true, occOK: nw.OccupancyOK(g)}
 			l := cost.NewLedger(cost.NewUniform(), nw.N())
 			med := radio.NewMedium(nw, sim.New(), l, rand.New(rand.NewSource(int64(trial)+500)), radio.Config{})
 			p := vtree.New(med)
 			m := p.Build(0)
-			if m.Reached == nw.N() {
-				spans++
-			}
-			if m.MaxDepth > maxDepth {
-				maxDepth = m.MaxDepth
-			}
-			before := l.Metrics().Total
+			out.spans = m.Reached == nw.N()
+			out.depth = m.MaxDepth
+			before := l.Total()
 			count, _ := p.Aggregate(func(int) int64 { return 1 }, func(a, b int64) int64 { return a + b })
-			if count == int64(nw.N()) {
-				censusOK++
-			}
-			treeEnergy += int64(l.Metrics().Total - before)
+			out.censusOK = count == int64(nw.N())
+			out.treeEnergy = int64(l.Total() - before)
 			for id := 0; id < nw.N(); id++ {
-				directEnergy += int64(p.Depth(id)) * 2
+				out.directEnergy += int64(p.Depth(id)) * 2
+			}
+			return out
+		})
+		occOK, spans, censusOK := 0, 0, 0
+		maxDepth := 0
+		var treeEnergy, directEnergy int64
+		measured := 0
+		for _, r := range results {
+			if !r.connected {
+				continue
 			}
 			measured++
+			if r.occOK {
+				occOK++
+			}
+			if r.spans {
+				spans++
+			}
+			if r.depth > maxDepth {
+				maxDepth = r.depth
+			}
+			if r.censusOK {
+				censusOK++
+			}
+			treeEnergy += r.treeEnergy
+			directEnergy += r.directEnergy
 		}
 		if measured == 0 {
-			tab.AddRow(sp.name, "-", "-", "-", "-", "-", "-")
-			continue
+			return rows{{sp.name, "-", "-", "-", "-", "-", "-"}}
 		}
-		tab.AddRow(sp.name,
+		return rows{{sp.name,
 			fmt.Sprintf("%d/%d", occOK, measured),
 			fmt.Sprintf("%d/%d", spans, measured),
 			maxDepth,
 			fmt.Sprintf("%d/%d", censusOK, measured),
-			treeEnergy/int64(measured), directEnergy/int64(measured))
-	}
+			treeEnergy / int64(measured), directEnergy / int64(measured)}}
+	})
 	return tab
 }
 
@@ -233,7 +259,8 @@ func E13LossyEmulation(o Options) *stats.Table {
 	if o.Quick {
 		losses = losses[:2]
 	}
-	for _, loss := range losses {
+	sweep(o, tab, len(losses), func(i int) rows {
+		loss := losses[i]
 		g := geom.NewSquareGrid(4, 40)
 		rng := rand.New(rand.NewSource(61))
 		nw, _, err := deploy.Generate(128, g, 11, deploy.UniformRandom{}, rng, 200)
@@ -261,9 +288,9 @@ func E13LossyEmulation(o Options) *stats.Table {
 			fm := fl.Flood(0, 2, "query")
 			forwards += fm.Forwards
 		}
-		tab.AddRow(loss, firstComplete, rounds, m.Broadcasts,
-			forwards, int64(l.Metrics().Total-floodBefore))
-	}
+		return rows{{loss, firstComplete, rounds, m.Broadcasts,
+			forwards, int64(l.Metrics().Total - floodBefore)}}
+	})
 	return tab
 }
 
@@ -285,7 +312,8 @@ func E16WholeApp(o Options) *stats.Table {
 	if o.Quick {
 		cases = cases[:1]
 	}
-	for _, tc := range cases {
+	sweep(o, tab, len(cases), func(i int) rows {
+		tc := cases[i]
 		g := geom.NewSquareGrid(tc.side, float64(tc.side)*10)
 		rng := rand.New(rand.NewSource(tc.seed))
 		nw, _, err := deploy.Generate(tc.side*tc.side*tc.perCell, g, g.CellSide()*1.25, deploy.UniformRandom{}, rng, 200)
@@ -322,13 +350,13 @@ func E16WholeApp(o Options) *stats.Table {
 		if err != nil {
 			panic(err)
 		}
-		tab.AddRow(fmt.Sprintf("%dx%d", tc.side, tc.side), tc.perCell,
+		return rows{{fmt.Sprintf("%dx%d", tc.side, tc.side), tc.perCell,
 			virtRes.Final.Count(),
 			int64(virtLedger.Metrics().Total), physEnergy,
 			stats.Ratio(float64(physEnergy), float64(virtLedger.Metrics().Total)),
 			int64(virtRes.Completion), int64(physRes.Completion),
-			physRes.Final.Equal(virtRes.Final))
-	}
+			physRes.Final.Equal(virtRes.Final)}}
+	})
 	return tab
 }
 
@@ -343,7 +371,8 @@ func E10Churn(o Options) *stats.Table {
 	if o.Quick {
 		failures = failures[:2]
 	}
-	for _, kills := range failures {
+	sweep(o, tab, len(failures), func(i int) rows {
+		kills := failures[i]
 		nw, g, med, _ := physSetup(4, 10, 11, int64(kills)*41)
 		p := vtopo.New(med, g)
 		full := p.Run()
@@ -364,9 +393,9 @@ func E10Churn(o Options) *stats.Table {
 		p.Kill(victims...)
 		rep := p.RepairIncremental()
 		repairB := rep.Broadcasts - full.Broadcasts
-		tab.AddRow(len(victims), full.Broadcasts, repairB,
+		return rows{{len(victims), full.Broadcasts, repairB,
 			stats.Ratio(float64(repairB), float64(full.Broadcasts)),
-			int64(rep.SetupTime), rep.Complete)
-	}
+			int64(rep.SetupTime), rep.Complete}}
+	})
 	return tab
 }

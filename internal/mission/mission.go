@@ -71,7 +71,7 @@ func Run(cfg Config) (*Outcome, error) {
 	for round := 0; round < maxRounds; round++ {
 		now := int64(round) * cfg.Interval
 		m := field.Threshold(cfg.Phenomenon, g, cfg.Threshold, now)
-		before := ledger.Metrics().Total
+		before := ledger.Total()
 		vm := varch.NewMachine(cfg.Hier, sim.New(), ledger)
 		res, err := synth.RunOnMachine(vm, m)
 		if err != nil {
@@ -80,16 +80,16 @@ func Run(cfg Config) (*Outcome, error) {
 		if got, want := res.Final.Count(), regions.Label(m).Count; got != want {
 			return nil, fmt.Errorf("mission: round %d labeled %d regions, truth %d", round, got, want)
 		}
-		met := ledger.Metrics()
+		total, maxNode := ledger.Total(), ledger.MaxEnergy()
 		out.Records = append(out.Records, RoundRecord{
 			Round:        round,
 			FeatureCells: m.Count(),
 			Regions:      res.Final.Count(),
 			Completion:   res.Completion,
-			RoundEnergy:  met.Total - before,
-			MaxNode:      met.Max,
+			RoundEnergy:  total - before,
+			MaxNode:      maxNode,
 		})
-		if met.Max > cfg.Budget {
+		if maxNode > cfg.Budget {
 			out.Died = true
 			out.RoundsSurvived = round // this round killed the node
 			return out, nil

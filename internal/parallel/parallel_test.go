@@ -1,0 +1,104 @@
+package parallel
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdering(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		p := New(workers)
+		got := Map(p, 100, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestNilPoolIsSequential(t *testing.T) {
+	order := make([]int, 0, 10)
+	ForEach(nil, 10, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("nil pool ran out of order: %v", order)
+		}
+	}
+	if got := (*Pool)(nil).Workers(); got != 1 {
+		t.Fatalf("nil pool Workers() = %d, want 1", got)
+	}
+}
+
+func TestForEachRunsEveryTaskOnce(t *testing.T) {
+	p := New(4)
+	var counts [1000]atomic.Int32
+	ForEach(p, len(counts), func(i int) { counts[i].Add(1) })
+	for i := range counts {
+		if n := counts[i].Load(); n != 1 {
+			t.Fatalf("task %d ran %d times", i, n)
+		}
+	}
+}
+
+func TestNestedForEachDoesNotDeadlock(t *testing.T) {
+	p := New(2)
+	var total atomic.Int64
+	ForEach(p, 8, func(i int) {
+		ForEach(p, 8, func(j int) { total.Add(1) })
+	})
+	if total.Load() != 64 {
+		t.Fatalf("nested ForEach ran %d tasks, want 64", total.Load())
+	}
+}
+
+func TestPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := New(workers)
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic did not propagate", workers)
+				}
+				if !strings.Contains(r.(string), "boom") {
+					t.Fatalf("workers=%d: panic lost its payload: %v", workers, r)
+				}
+			}()
+			ForEach(p, 16, func(i int) {
+				if i == 7 {
+					panic("boom")
+				}
+			})
+		}()
+	}
+}
+
+func TestDefaultWorkerCount(t *testing.T) {
+	if New(0).Workers() < 1 {
+		t.Fatal("New(0) produced an empty pool")
+	}
+	if got := New(3).Workers(); got != 3 {
+		t.Fatalf("New(3).Workers() = %d", got)
+	}
+}
+
+func TestTaskSeedDeterministicAndDistinct(t *testing.T) {
+	seen := make(map[int64]string)
+	for _, exp := range []string{"E2", "E7", "A3"} {
+		for side := 4; side <= 32; side *= 2 {
+			for trial := 0; trial < 20; trial++ {
+				s := TaskSeed(exp, side, trial)
+				if s != TaskSeed(exp, side, trial) {
+					t.Fatalf("TaskSeed(%s,%d,%d) not deterministic", exp, side, trial)
+				}
+				key := s
+				if prev, dup := seen[key]; dup {
+					t.Fatalf("seed collision: (%s,%d,%d) vs %s", exp, side, trial, prev)
+				}
+				seen[key] = exp
+			}
+		}
+	}
+}

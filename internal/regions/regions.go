@@ -17,7 +17,8 @@ package regions
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"sync"
 
 	"wsnva/internal/field"
 	"wsnva/internal/geom"
@@ -38,6 +39,22 @@ func NewDSU(n int) *DSU {
 		d.parent[i] = i
 	}
 	return d
+}
+
+// Reset re-initializes the DSU over keys 0..n-1, reusing its storage when
+// the capacity allows — the allocation-free path for code that runs one
+// union-find per merge or per round.
+func (d *DSU) Reset(n int) {
+	if cap(d.parent) < n {
+		d.parent = make([]int, n)
+		d.rank = make([]byte, n)
+	}
+	d.parent = d.parent[:n]
+	d.rank = d.rank[:n]
+	for i := range d.parent {
+		d.parent[i] = i
+		d.rank[i] = 0
+	}
 }
 
 // Find returns the representative of x's set, with path compression.
@@ -220,7 +237,7 @@ func LeafBlock(m *field.BinaryMap, col0, row0, cols, rows int) *Summary {
 			}
 		}
 	}
-	byRoot := make(map[int]*Region)
+	byRoot := make([]*Region, cols*rows)
 	for row := row0; row < row0+rows; row++ {
 		for col := col0; col < col0+cols; col++ {
 			c := geom.Coord{Col: col, Row: row}
@@ -228,8 +245,8 @@ func LeafBlock(m *field.BinaryMap, col0, row0, cols, rows int) *Summary {
 				continue
 			}
 			root := dsu.Find(idxOf(c))
-			r, ok := byRoot[root]
-			if !ok {
+			r := byRoot[root]
+			if r == nil {
 				r = &Region{Label: m.Grid.Index(c), Box: bboxOf(c)}
 				byRoot[root] = r
 			}
@@ -244,6 +261,9 @@ func LeafBlock(m *field.BinaryMap, col0, row0, cols, rows int) *Summary {
 		}
 	}
 	for _, r := range byRoot {
+		if r == nil {
+			continue
+		}
 		if len(r.Border) == 0 {
 			r.Closed = true
 			r.Border = nil
@@ -340,29 +360,49 @@ func (s *Summary) Merge(other *Summary) {
 	s.regions = append(s.regions, other.regions...)
 
 	// Join regions whose border cells are 4-adjacent. Map each border cell
-	// to its region's slot, then union slots across adjacent cells.
-	slotOf := make(map[geom.Coord]int)
+	// (by grid index — coverages are disjoint, so a cell belongs to at most
+	// one region's border) to its region's slot, then union slots across
+	// adjacent cells. All scratch state is pooled: the merge tree of one
+	// labeling round runs thousands of merges and must not pay a map, a DSU,
+	// and a rebuild table per call.
+	sc := mergePool.Get().(*mergeScratch)
+	g := s.grid
+	clear(sc.slot)
 	for i, r := range s.regions {
 		for _, c := range r.Border {
-			slotOf[c] = i
+			sc.slot[g.Index(c)] = i
 		}
 	}
-	dsu := NewDSU(len(s.regions))
-	for c, i := range slotOf {
-		for d := geom.North; d < geom.NumDirs; d++ {
-			if j, ok := slotOf[c.Step(d)]; ok && j != i {
-				dsu.Union(i, j)
+	sc.dsu.Reset(len(s.regions))
+	for i, r := range s.regions {
+		for _, c := range r.Border {
+			for d := geom.North; d < geom.NumDirs; d++ {
+				n := c.Step(d)
+				if !g.InBounds(n) {
+					continue
+				}
+				if j, ok := sc.slot[g.Index(n)]; ok && j != i {
+					sc.dsu.Union(i, j)
+				}
 			}
 		}
 	}
 
-	// Rebuild the region list: one region per DSU root.
-	merged := make(map[int]*Region)
+	// Rebuild the region list: one region per DSU root, the first slice
+	// entry of each root surviving as the merge target.
+	n := len(s.regions)
+	if cap(sc.byRoot) < n {
+		sc.byRoot = make([]*Region, n)
+	}
+	byRoot := sc.byRoot[:n]
+	for i := range byRoot {
+		byRoot[i] = nil
+	}
 	for i, r := range s.regions {
-		root := dsu.Find(i)
-		m, ok := merged[root]
-		if !ok {
-			merged[root] = r
+		root := sc.dsu.Find(i)
+		m := byRoot[root]
+		if m == nil {
+			byRoot[root] = r
 			continue
 		}
 		if r.Label < m.Label {
@@ -374,7 +414,11 @@ func (s *Summary) Merge(other *Summary) {
 		m.Closed = false
 	}
 	s.regions = s.regions[:0]
-	for _, r := range merged {
+	for i, r := range byRoot {
+		byRoot[i] = nil // don't retain regions from the pool
+		if r == nil {
+			continue
+		}
 		// Filter the border against the enlarged coverage.
 		kept := r.Border[:0]
 		for _, c := range r.Border {
@@ -389,8 +433,20 @@ func (s *Summary) Merge(other *Summary) {
 		}
 		s.regions = append(s.regions, r)
 	}
+	mergePool.Put(sc)
 	s.normalize()
 }
+
+// mergeScratch holds the per-merge working state Merge reuses through a
+// sync.Pool: the border-cell → region-slot index, the union-find, and the
+// root rebuild table.
+type mergeScratch struct {
+	slot   map[int]int
+	dsu    DSU
+	byRoot []*Region
+}
+
+var mergePool = sync.Pool{New: func() any { return &mergeScratch{slot: make(map[int]int)} }}
 
 func rectsOverlap(a, b gridRect) bool {
 	return a.Col0 < b.Col0+b.Cols && b.Col0 < a.Col0+a.Cols &&
@@ -398,15 +454,18 @@ func rectsOverlap(a, b gridRect) bool {
 }
 
 // normalize sorts regions by label and borders by cell index so summaries
-// are deterministic regardless of merge order.
+// are deterministic regardless of merge order. Sort keys are unique (cell
+// indices within a summary, labels across regions), so any comparison sort
+// yields the same order; slices.SortFunc avoids sort.Slice's interface and
+// closure allocations on this per-merge path.
 func (s *Summary) normalize() {
+	g := s.grid
 	for _, r := range s.regions {
-		g := s.grid
-		sort.Slice(r.Border, func(i, j int) bool {
-			return g.Index(r.Border[i]) < g.Index(r.Border[j])
+		slices.SortFunc(r.Border, func(a, b geom.Coord) int {
+			return g.Index(a) - g.Index(b)
 		})
 	}
-	sort.Slice(s.regions, func(i, j int) bool { return s.regions[i].Label < s.regions[j].Label })
+	slices.SortFunc(s.regions, func(a, b *Region) int { return a.Label - b.Label })
 }
 
 // Equal reports whether two summaries carry identical region information
@@ -466,7 +525,11 @@ func (s *Summary) CoveredRectList() []CoverRect {
 // slices are adopted, not copied). It normalizes ordering so a reassembled
 // summary is Equal to the original.
 func Reassemble(g *geom.Grid, rects []CoverRect, regs []Region) *Summary {
-	s := &Summary{grid: g}
+	s := &Summary{
+		grid:    g,
+		covered: make([]gridRect, 0, len(rects)),
+		regions: make([]*Region, 0, len(regs)),
+	}
 	for _, r := range rects {
 		s.covered = append(s.covered, gridRect{Col0: r.Col0, Row0: r.Row0, Cols: r.Cols, Rows: r.Rows})
 	}

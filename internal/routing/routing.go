@@ -147,6 +147,41 @@ func XYRoute(g *geom.Grid, src, dst geom.Coord) []geom.Coord {
 	return route
 }
 
+// WalkXY visits every hop of the dimension-order route from src to dst in
+// order, calling visit(from, to) once per hop, without materializing the
+// route slice — the allocation-free form of XYRoute for hot paths that
+// only need to charge per-hop costs. It returns the hop count.
+func WalkXY(g *geom.Grid, src, dst geom.Coord, visit func(from, to geom.Coord)) int {
+	if !g.InBounds(src) || !g.InBounds(dst) {
+		panic(fmt.Sprintf("routing: WalkXY endpoints %v->%v out of bounds", src, dst))
+	}
+	hops := 0
+	cur := src
+	for cur.Col != dst.Col {
+		next := cur
+		if cur.Col < dst.Col {
+			next = cur.Step(geom.East)
+		} else {
+			next = cur.Step(geom.West)
+		}
+		visit(cur, next)
+		cur = next
+		hops++
+	}
+	for cur.Row != dst.Row {
+		next := cur
+		if cur.Row < dst.Row {
+			next = cur.Step(geom.South)
+		} else {
+			next = cur.Step(geom.North)
+		}
+		visit(cur, next)
+		cur = next
+		hops++
+	}
+	return hops
+}
+
 // NextHopXY returns the direction of the first XY-routing hop from src
 // toward dst, and false if src == dst.
 func NextHopXY(src, dst geom.Coord) (geom.Dir, bool) {

@@ -65,6 +65,11 @@ type Kernel struct {
 	nextSeq int64
 	fired   int64
 	running bool
+	// free recycles fired events so steady-state simulation (the experiment
+	// sweeps schedule millions of deliveries) stops allocating one Event per
+	// message. Handles returned by At/After are only valid until the event
+	// fires; see Cancel.
+	free []*Event
 }
 
 // New returns an empty kernel at time 0.
@@ -90,7 +95,15 @@ func (k *Kernel) At(t Time, fire func()) *Event {
 	if fire == nil {
 		panic("sim: nil event function")
 	}
-	e := &Event{At: t, Fire: fire, seq: k.nextSeq}
+	var e *Event
+	if n := len(k.free); n > 0 {
+		e = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		*e = Event{At: t, Fire: fire, seq: k.nextSeq}
+	} else {
+		e = &Event{At: t, Fire: fire, seq: k.nextSeq}
+	}
 	k.nextSeq++
 	heap.Push(&k.queue, e)
 	return e
@@ -105,7 +118,10 @@ func (k *Kernel) After(d Time, fire func()) *Event {
 }
 
 // Cancel removes a scheduled event. Cancelling an event that already fired
-// or was already cancelled is a no-op.
+// or was already cancelled is a no-op — but because fired events are
+// recycled, a handle must not be cancelled after its event has fired unless
+// the caller knows the kernel scheduled nothing since (protocol code in
+// this repo never retains handles across deliveries).
 func (k *Kernel) Cancel(e *Event) {
 	if e == nil || e.idx == -1 {
 		return
@@ -126,6 +142,10 @@ func (k *Kernel) Step() bool {
 	k.running = true
 	e.Fire()
 	k.running = false
+	// Recycle after Fire returned: anything Fire scheduled got fresh or
+	// previously freed events, never this one.
+	e.Fire = nil
+	k.free = append(k.free, e)
 	return true
 }
 

@@ -208,11 +208,10 @@ func (vm *Machine) chargeRoute(from, to geom.Coord, size int64) (cost.Energy, si
 	if hops == 0 {
 		return 0, 0
 	}
-	route := routing.XYRoute(g, from, to)
 	var e cost.Energy
-	for i := 1; i < len(route); i++ {
-		e += vm.ledger.ChargeTransfer(g.Index(route[i-1]), g.Index(route[i]), size)
-	}
+	routing.WalkXY(g, from, to, func(a, b geom.Coord) {
+		e += vm.ledger.ChargeTransfer(g.Index(a), g.Index(b), size)
+	})
 	vm.msgs++
 	vm.hops += int64(hops)
 	return e, sim.Time(hops) * sim.Time(vm.ledger.Model().TxLatency(size))

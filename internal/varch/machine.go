@@ -120,10 +120,9 @@ func (vm *Machine) Send(from, to geom.Coord, size int64, payload any) {
 		vm.kernel.After(vm.delay(0), func() { vm.deliver(to, msg) })
 		return
 	}
-	route := routing.XYRoute(g, from, to)
-	for i := 1; i < len(route); i++ {
-		vm.ledger.ChargeTransfer(g.Index(route[i-1]), g.Index(route[i]), size)
-	}
+	routing.WalkXY(g, from, to, func(a, b geom.Coord) {
+		vm.ledger.ChargeTransfer(g.Index(a), g.Index(b), size)
+	})
 	vm.hops += int64(hops)
 	base := sim.Time(hops) * sim.Time(vm.ledger.Model().TxLatency(size))
 	vm.kernel.After(vm.delay(base), func() { vm.deliver(to, msg) })

@@ -69,7 +69,8 @@ func unpackCell(w uint32) (geom.Coord, error) {
 	return geom.Coord{Col: int(w >> 8 & 0xff), Row: int(w & 0xff)}, nil
 }
 
-// EncodeSummary serializes s. Layout, in 32-bit words:
+// EncodeSummary serializes s into a freshly allocated buffer. Layout, in
+// 32-bit words:
 //
 //	[0] region count
 //	[1] total open-boundary cell count (integrity check)
@@ -81,7 +82,19 @@ func unpackCell(w uint32) (geom.Coord, error) {
 //	coverage stamp:
 //	  [rect count] then per rect: origin word, extent word
 func EncodeSummary(s *regions.Summary) []byte {
-	buf := make([]byte, 0, EncodedLen(s))
+	return AppendSummary(make([]byte, 0, EncodedLen(s)), s)
+}
+
+// AppendSummary appends the encoding of s to dst and returns the extended
+// buffer, letting steady-state senders reuse one buffer across rounds
+// (append(dst[:0], ...) style) instead of allocating per message.
+func AppendSummary(dst []byte, s *regions.Summary) []byte {
+	if need := EncodedLen(s); cap(dst)-len(dst) < need {
+		grown := make([]byte, len(dst), len(dst)+need)
+		copy(grown, dst)
+		dst = grown
+	}
+	buf := dst
 	w := func(v uint32) { buf = byteOrder.AppendUint32(buf, v) }
 
 	regs := s.Regions()
@@ -191,6 +204,14 @@ func DecodeSummary(g *geom.Grid, buf []byte) (*regions.Summary, error) {
 		prevLabel = r.Label
 		borderCount := w0 & 0x7fff
 		gotBorder += borderCount
+		// Untrusted count: bound it by the remaining words before sizing the
+		// border slice, so the exact-capacity preallocation stays safe.
+		if borderCount > uint32((len(buf)-d.off)/WordBytes) {
+			return nil, fmt.Errorf("wire: border count %d exceeds buffer capacity", borderCount)
+		}
+		if borderCount > 0 {
+			r.Border = make([]geom.Coord, 0, borderCount)
+		}
 		prevIdx := -1
 		for j := uint32(0); j < borderCount; j++ {
 			cw, err := d.word()
@@ -261,10 +282,14 @@ func DecodeSummary(g *geom.Grid, buf []byte) (*regions.Summary, error) {
 // EncodeGraphMsg serializes a complete program message: the sender's
 // coordinates, the recursion level the payload merges at, and the summary.
 func EncodeGraphMsg(sender geom.Coord, level int, s *regions.Summary) []byte {
-	buf := make([]byte, 0, 2*WordBytes+EncodedLen(s))
-	buf = byteOrder.AppendUint32(buf, packCell(sender))
-	buf = byteOrder.AppendUint32(buf, uint32(level))
-	return append(buf, EncodeSummary(s)...)
+	return AppendGraphMsg(make([]byte, 0, 2*WordBytes+EncodedLen(s)), sender, level, s)
+}
+
+// AppendGraphMsg is the buffer-reusing form of EncodeGraphMsg.
+func AppendGraphMsg(dst []byte, sender geom.Coord, level int, s *regions.Summary) []byte {
+	dst = byteOrder.AppendUint32(dst, packCell(sender))
+	dst = byteOrder.AppendUint32(dst, uint32(level))
+	return AppendSummary(dst, s)
 }
 
 // DecodeGraphMsg is the inverse of EncodeGraphMsg.
