@@ -2,9 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench bench-json tables csv report fuzz examples clean
+.PHONY: all check build vet test test-short race bench bench-json tables csv report fuzz examples clean
 
 all: build vet test
+
+# The full pre-merge gate: vet, build, the test suite under the race
+# detector, and one quick benchmark iteration to catch allocation or
+# wall-time blowups before they land.
+check: vet build race bench
 
 build:
 	$(GO) build ./...
@@ -31,7 +36,7 @@ bench:
 bench-json:
 	$(GO) run ./cmd/benchtab -parallel 1 -bench-json BENCH_0.json > /dev/null
 
-# Regenerate every experiment table (E1-E15, A1-A3).
+# Regenerate every experiment table (E1-E18, A1-A3).
 tables:
 	$(GO) run ./cmd/benchtab
 
@@ -46,6 +51,7 @@ report:
 fuzz:
 	$(GO) test -fuzz FuzzDecodeSummary -fuzztime 30s ./internal/wire/
 	$(GO) test -fuzz FuzzDecodeGraphMsg -fuzztime 30s ./internal/wire/
+	$(GO) test -fuzz FuzzMediumConservation -fuzztime 30s ./internal/radio/
 
 examples:
 	$(GO) run ./examples/quickstart

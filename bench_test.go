@@ -60,9 +60,13 @@ func BenchmarkE13LossyEmulation(b *testing.B) { benchTable(b, experiments.E13Los
 func BenchmarkE14AlarmApp(b *testing.B)       { benchTable(b, experiments.E14AlarmApp) }
 func BenchmarkE15Lifetime(b *testing.B)       { benchTable(b, experiments.E15Lifetime) }
 func BenchmarkE16WholeApp(b *testing.B)       { benchTable(b, experiments.E16WholeApp) }
-func BenchmarkA1Mappers(b *testing.B)         { benchTable(b, experiments.A1MappingAblation) }
-func BenchmarkA2Workloads(b *testing.B)       { benchTable(b, experiments.A2FieldShapes) }
-func BenchmarkA3CostModels(b *testing.B)      { benchTable(b, experiments.A3CostSensitivity) }
+func BenchmarkE17FailureSweep(b *testing.B)   { benchTable(b, experiments.E17FailureSweep) }
+func BenchmarkE18ReliableDelivery(b *testing.B) {
+	benchTable(b, experiments.E18ReliableDelivery)
+}
+func BenchmarkA1Mappers(b *testing.B)    { benchTable(b, experiments.A1MappingAblation) }
+func BenchmarkA2Workloads(b *testing.B)  { benchTable(b, experiments.A2FieldShapes) }
+func BenchmarkA3CostModels(b *testing.B) { benchTable(b, experiments.A3CostSensitivity) }
 
 // BenchmarkLabelRoundLockstep measures the synchronous engine.
 func BenchmarkLabelRoundLockstep(b *testing.B) {

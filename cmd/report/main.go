@@ -43,6 +43,8 @@ func main() {
 		{"E13", "Section 5.1: emulation under radio loss + flooding baseline", experiments.E13LossyEmulation},
 		{"E14", "Section 4.1: event-driven alarm vs periodic labeling", experiments.E14AlarmApp},
 		{"E15", "Section 2: simulated lifetime to first node death", experiments.E15Lifetime},
+		{"E17", "Extension: labeling under fail-stop crashes with watchdog failover", experiments.E17FailureSweep},
+		{"E18", "Extension: stop-and-wait ARQ under loss and crashes", experiments.E18ReliableDelivery},
 		{"A1", "Ablation: mapping strategies", experiments.A1MappingAblation},
 		{"A2", "Ablation: workload shapes", experiments.A2FieldShapes},
 		{"A3", "Ablation: cost-model sensitivity", experiments.A3CostSensitivity},

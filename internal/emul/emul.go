@@ -42,6 +42,10 @@ type Machine struct {
 	handlers map[geom.Coord]varch.Handler
 	msgs     int64
 	physHops int64
+
+	// Fault layer (see faults.go).
+	failovers int64
+	unrouted  int64
 }
 
 // appMsg is the on-air payload for application traffic: the virtual
@@ -145,7 +149,13 @@ func (m *Machine) forward(id int, env appMsg) {
 	var next int
 	if myCell == env.to {
 		// Intra-cell leg toward the leader.
-		next = m.toLeader[id]
+		hop, ok := m.toLeader[id]
+		if !ok {
+			// Failures cut this relay off from its cell's leader.
+			m.unrouted++
+			return
+		}
+		next = hop
 		if next == id {
 			m.dispatch(id, env)
 			return
@@ -154,7 +164,10 @@ func (m *Machine) forward(id int, env appMsg) {
 		dir, _ := routing.NextHopXY(myCell, env.to)
 		hop, err := m.proto.ForwardPath(id, dir)
 		if err != nil {
-			panic(fmt.Sprintf("emul: routing failed at node %d: %v", id, err))
+			// No alive route in that direction (ForwardPath refuses chains
+			// through dead nodes). Complete fault-free tables never err here.
+			m.unrouted++
+			return
 		}
 		next = hop[0]
 	}
@@ -171,10 +184,13 @@ func (m *Machine) onPacket(id int, pkt radio.Packet) {
 	m.forward(id, env)
 }
 
-// dispatch hands a message to the destination virtual node's handler.
+// dispatch hands a message to the destination virtual node's handler. A
+// leader that died or was deposed while the message was in flight drops it
+// — the virtual process has moved (or died) with its executor.
 func (m *Machine) dispatch(id int, env appMsg) {
-	if m.bnd.Leaders[env.to] != id {
-		panic(fmt.Sprintf("emul: message for %v dispatched at node %d, not its leader", env.to, id))
+	if !m.med.Alive(id) || m.bnd.Leaders[env.to] != id {
+		m.unrouted++
+		return
 	}
 	if h := m.handlers[env.to]; h != nil {
 		h(env.msg)

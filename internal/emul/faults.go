@@ -1,0 +1,84 @@
+// Fault handling for the physical machine: fail-stop node crashes with
+// cell-leader failover. A crash silences the node's radio and deposes it
+// from every role it held; if it was the elected executor of its cell's
+// virtual process, the next alive cell member (in deployment order — the
+// same deterministic order every member knows) is promoted and the
+// intra-cell relay tree is rebuilt over the survivors. Inter-cell
+// forwarding belongs to the topology-emulation tables: packets relayed
+// through other dead nodes are dropped by the radio, and callers reconverge
+// those tables between rounds with Protocol.RepairIncremental — the
+// Section 5.1 repair path, measured in E10.
+package emul
+
+import "wsnva/internal/geom"
+
+// Kill fails physical node id fail-stop. Safe to call for an already-dead
+// node (no-op). Killing every member of a cell leaves the binding pointing
+// at a dead node; traffic for that virtual node is then dropped by the
+// radio, and the labeling round degrades exactly as the DES fault driver
+// models.
+func (m *Machine) Kill(id int) {
+	if !m.med.Alive(id) {
+		return
+	}
+	m.med.Kill(id)
+	m.proto.Kill(id)
+	cell := m.proto.CellOf(id)
+	if m.bnd.Leaders[cell] == id {
+		idx := m.hier.Grid.Index(cell)
+		for _, cand := range m.med.Network().CellMembers(m.hier.Grid)[idx] {
+			if m.med.Alive(cand) {
+				m.bnd.Leaders[cell] = cand
+				m.failovers++
+				break
+			}
+		}
+	}
+	m.rebuildCell(cell)
+}
+
+// Failovers counts cell-leader promotions performed by Kill.
+func (m *Machine) Failovers() int64 { return m.failovers }
+
+// Unrouted counts messages dropped because failures left them no path: a
+// relay cut off from its cell's leader, or a destination leader that died
+// or was deposed with the message in flight.
+func (m *Machine) Unrouted() int64 { return m.unrouted }
+
+// rebuildCell recomputes one cell's intra-cell relay tree over its alive
+// members, rooted at the current bound leader. Members the failures cut
+// off from the leader lose their next-hop entry, so forward drops their
+// traffic instead of looping or panicking. If the leader itself is dead
+// (the whole cell was lost), every entry is removed.
+func (m *Machine) rebuildCell(cell geom.Coord) {
+	nw := m.med.Network()
+	g := m.hier.Grid
+	cellNodes := nw.CellMembers(g)[g.Index(cell)]
+	for _, id := range cellNodes {
+		delete(m.toLeader, id)
+	}
+	leader := m.bnd.Leaders[cell]
+	if !m.med.Alive(leader) {
+		return
+	}
+	inCell := make(map[int]bool, len(cellNodes))
+	for _, id := range cellNodes {
+		if m.med.Alive(id) {
+			inCell[id] = true
+		}
+	}
+	visited := map[int]bool{leader: true}
+	queue := []int{leader}
+	m.toLeader[leader] = leader
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range nw.Neighbors(v) {
+			if inCell[u] && !visited[u] {
+				visited[u] = true
+				m.toLeader[u] = v
+				queue = append(queue, u)
+			}
+		}
+	}
+}

@@ -20,6 +20,8 @@ func TestParallelTablesByteIdentical(t *testing.T) {
 		{"E2", E2Steps},
 		{"E7", E7Loss},
 		{"E12", E12TreeTopology},
+		{"E17", E17FailureSweep},
+		{"E18", E18ReliableDelivery},
 		{"A3", A3CostSensitivity},
 	} {
 		tc := tc

@@ -1,0 +1,258 @@
+// Package fault is the deterministic fault-injection layer over the DES
+// kernel. The paper's premise is an unreliable substrate — "latency of
+// message delivery is unpredictable ... some messages might even be
+// dropped" — and its Section 5 protocols are supposed to survive worse:
+// nodes that die mid-protocol. This package supplies the two halves of
+// that stress:
+//
+//   - crash schedules: fail-stop node deaths at scheduled sim.Times,
+//     seed-derived random crash sets (nested as the crash fraction grows,
+//     so sweeps are monotone by construction), and region-targeted kill
+//     zones. An Injector arms a schedule on a kernel: at each crash time it
+//     silences the node on every registered Target (radio alive gate,
+//     virtual-machine alive gate) and cancels all the node's owned events
+//     via sim.Kernel.CancelOwner.
+//
+//   - a reliable-delivery policy: stop-and-wait ARQ with bounded retries
+//     and capped exponential backoff, energy-accounted under the uniform
+//     cost model. The policy itself lives here; internal/varch implements
+//     it for Send and the collectives so that a program can opt into
+//     reliability without changing a line of application code.
+//
+// Everything is deterministic under a fixed seed: schedules are pure
+// functions of their inputs, and the injector schedules crashes in a fixed
+// order, so tests can pin exact retry counts and failover outcomes.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"wsnva/internal/geom"
+	"wsnva/internal/sim"
+)
+
+// Crash is one fail-stop event: node dies at time At and never recovers.
+type Crash struct {
+	Node int
+	At   sim.Time
+}
+
+// Schedule is a set of crashes, ordered by (time, node). The zero value is
+// the empty schedule (no faults).
+type Schedule []Crash
+
+// normalize sorts by (At, Node) and drops duplicate nodes (first crash
+// wins — a node dies once).
+func (s Schedule) normalize() Schedule {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].At != s[j].At {
+			return s[i].At < s[j].At
+		}
+		return s[i].Node < s[j].Node
+	})
+	seen := make(map[int]bool, len(s))
+	out := s[:0]
+	for _, c := range s {
+		if seen[c.Node] {
+			continue
+		}
+		seen[c.Node] = true
+		out = append(out, c)
+	}
+	return out
+}
+
+// Nodes returns the set of nodes the schedule kills, in crash order.
+func (s Schedule) Nodes() []int {
+	out := make([]int, len(s))
+	for i, c := range s {
+		out[i] = c.Node
+	}
+	return out
+}
+
+// At builds a schedule from explicit (node, time) pairs.
+func At(crashes ...Crash) Schedule {
+	return Schedule(crashes).normalize()
+}
+
+// Random derives a crash schedule from a seed: it kills ⌈fraction·n⌉ of n
+// nodes, each at a time drawn uniformly from [1, window]. The victims are
+// a prefix of a seed-derived permutation, so for a fixed seed the crash
+// set at fraction p is a subset of the crash set at any p' > p — sweeps
+// over the crash fraction degrade monotonically by construction.
+func Random(n int, fraction float64, window sim.Time, seed int64) Schedule {
+	if fraction < 0 || fraction > 1 {
+		panic(fmt.Sprintf("fault: crash fraction %v out of [0,1]", fraction))
+	}
+	if window < 1 {
+		panic(fmt.Sprintf("fault: crash window %d must be ≥ 1", window))
+	}
+	kills := int(fraction*float64(n) + 0.999999)
+	if kills > n {
+		kills = n
+	}
+	if kills == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	// Crash times come from a second seeded stream keyed by victim identity,
+	// not by prefix position, so growing the fraction never moves an
+	// already-scheduled crash.
+	s := make(Schedule, 0, kills)
+	for _, node := range perm[:kills] {
+		trng := rand.New(rand.NewSource(int64(uint64(seed) ^ uint64(node+1)*0x9e3779b97f4a7c15)))
+		s = append(s, Crash{Node: node, At: 1 + sim.Time(trng.Int63n(int64(window)))})
+	}
+	return s.normalize()
+}
+
+// Region kills every grid cell inside the inclusive coordinate box
+// [min, max] at time at — the correlated-failure mode (a fire, a flood, a
+// dead power segment) that stresses hierarchies far harder than the same
+// number of uniformly random deaths. Nodes are grid indices.
+func Region(g *geom.Grid, min, max geom.Coord, at sim.Time) Schedule {
+	var s Schedule
+	for row := min.Row; row <= max.Row; row++ {
+		for col := min.Col; col <= max.Col; col++ {
+			c := geom.Coord{Col: col, Row: row}
+			if g.InBounds(c) {
+				s = append(s, Crash{Node: g.Index(c), At: at})
+			}
+		}
+	}
+	return s.normalize()
+}
+
+// Merge combines schedules; the earliest crash wins per node.
+func Merge(ss ...Schedule) Schedule {
+	var all Schedule
+	for _, s := range ss {
+		all = append(all, s...)
+	}
+	return all.normalize()
+}
+
+// Target is anything that can silence a node: the radio medium's alive
+// gate, the virtual machine's alive gate, a protocol's membership view.
+type Target interface {
+	Kill(node int)
+}
+
+// TargetFunc adapts a function to Target.
+type TargetFunc func(node int)
+
+// Kill implements Target.
+func (f TargetFunc) Kill(node int) { f(node) }
+
+// Injector arms crash schedules on a kernel and tracks liveness.
+type Injector struct {
+	kernel *sim.Kernel
+	dead   []bool
+	killed int
+}
+
+// NewInjector returns an injector for n nodes over kernel k.
+func NewInjector(k *sim.Kernel, n int) *Injector {
+	if n <= 0 {
+		panic(fmt.Sprintf("fault: injector needs positive node count, got %d", n))
+	}
+	return &Injector{kernel: k, dead: make([]bool, n)}
+}
+
+// Alive reports whether node is still up.
+func (in *Injector) Alive(node int) bool { return !in.dead[node] }
+
+// Killed returns how many nodes have died so far.
+func (in *Injector) Killed() int { return in.killed }
+
+// N returns the number of nodes the injector tracks.
+func (in *Injector) N() int { return len(in.dead) }
+
+// Kill fails node immediately: marks it dead, silences it on every target,
+// and cancels all events it owns. Killing a dead node is a no-op.
+func (in *Injector) kill(node int, targets []Target) {
+	if in.dead[node] {
+		return
+	}
+	in.dead[node] = true
+	in.killed++
+	for _, t := range targets {
+		t.Kill(node)
+	}
+	in.kernel.CancelOwner(node)
+}
+
+// Arm schedules every crash in s. Each crash fires as an unowned kernel
+// event (a node does not own its own death) that kills the node on every
+// target and cancels the node's owned events. Crashes are scheduled in
+// normalized order, so equal-time crashes fire in node order — the
+// determinism the test suite pins.
+func (in *Injector) Arm(s Schedule, targets ...Target) {
+	for _, c := range s {
+		c := c
+		if c.Node < 0 || c.Node >= len(in.dead) {
+			panic(fmt.Sprintf("fault: crash for node %d outside [0,%d)", c.Node, len(in.dead)))
+		}
+		in.kernel.At(c.At, func() { in.kill(c.Node, targets) })
+	}
+}
+
+// Reliability is the stop-and-wait ARQ policy for reliable delivery: after
+// sending, the sender waits Timeout for an acknowledgment; on silence it
+// retransmits, doubling the wait each attempt up to MaxBackoff, giving up
+// after MaxRetries retransmissions. Every attempt pays the full route
+// energy and a successful delivery pays AckSize units along the reverse
+// route — the uniform cost model applied to the ARQ control traffic.
+type Reliability struct {
+	// MaxRetries bounds retransmissions per message (0 disables ARQ).
+	MaxRetries int
+	// Timeout is the wait before the first retransmission.
+	Timeout sim.Time
+	// MaxBackoff caps the exponential backoff; 0 means uncapped.
+	MaxBackoff sim.Time
+	// AckSize is the acknowledgment size in data units; 0 means 1.
+	AckSize int64
+}
+
+// Enabled reports whether the policy retransmits at all.
+func (r Reliability) Enabled() bool { return r.MaxRetries > 0 }
+
+// DefaultReliability is the policy the experiments sweep: 3 retries,
+// base timeout 8 latency units, backoff capped at 64, unit-sized acks.
+func DefaultReliability() Reliability {
+	return Reliability{MaxRetries: 3, Timeout: 8, MaxBackoff: 64, AckSize: 1}
+}
+
+// Backoff returns the wait before retransmission number attempt (1-based):
+// Timeout·2^(attempt-1), capped at MaxBackoff.
+func (r Reliability) Backoff(attempt int) sim.Time {
+	if attempt < 1 {
+		panic(fmt.Sprintf("fault: backoff attempt %d must be ≥ 1", attempt))
+	}
+	t := r.Timeout
+	if t < 1 {
+		t = 1
+	}
+	for i := 1; i < attempt; i++ {
+		t *= 2
+		if r.MaxBackoff > 0 && t >= r.MaxBackoff {
+			return r.MaxBackoff
+		}
+	}
+	if r.MaxBackoff > 0 && t > r.MaxBackoff {
+		t = r.MaxBackoff
+	}
+	return t
+}
+
+// AckUnits returns the effective acknowledgment size.
+func (r Reliability) AckUnits() int64 {
+	if r.AckSize <= 0 {
+		return 1
+	}
+	return r.AckSize
+}

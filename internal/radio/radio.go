@@ -66,10 +66,14 @@ type Medium struct {
 	delay    DelayModel
 	loss     float64
 	handlers []Handler
+	// alive is the per-node fail-stop gate: a dead node neither transmits
+	// nor receives. All nodes start alive; the fault layer flips entries
+	// via Kill and they never come back.
+	alive []bool
 
 	sent      int64 // broadcasts initiated
 	delivered int64 // per-neighbor successful deliveries
-	dropped   int64 // per-neighbor losses
+	dropped   int64 // per-neighbor losses (loss draws and dead receivers)
 }
 
 // Config collects the knobs for a Medium.
@@ -91,6 +95,10 @@ func NewMedium(nw *deploy.Network, kernel *sim.Kernel, ledger *cost.Ledger, rng 
 	if d == nil {
 		d = UniformDelay{Model: ledger.Model()}
 	}
+	alive := make([]bool, nw.N())
+	for i := range alive {
+		alive[i] = true
+	}
 	return &Medium{
 		nw:       nw,
 		kernel:   kernel,
@@ -99,8 +107,18 @@ func NewMedium(nw *deploy.Network, kernel *sim.Kernel, ledger *cost.Ledger, rng 
 		delay:    d,
 		loss:     cfg.Loss,
 		handlers: make([]Handler, nw.N()),
+		alive:    alive,
 	}
 }
+
+// Kill silences node for good: it stops transmitting (Broadcast/Unicast
+// from it are no-ops that charge nothing) and stops receiving (deliveries
+// to it are dropped without an Rx charge — the radio is off). Killing a
+// dead node is a no-op. Kill implements the fault layer's Target.
+func (m *Medium) Kill(node int) { m.alive[node] = false }
+
+// Alive reports whether node's radio is still up.
+func (m *Medium) Alive(node int) bool { return m.alive[node] }
 
 // Handle registers the receive handler for node id, replacing any previous
 // handler. A nil handler makes the node deaf (it still pays receive energy
@@ -114,6 +132,9 @@ func (m *Medium) Handle(id int, h Handler) { m.handlers[id] = h }
 func (m *Medium) Broadcast(from int, size int64, payload any) int {
 	if size < 0 {
 		panic(fmt.Sprintf("radio: negative packet size %d", size))
+	}
+	if !m.alive[from] {
+		return 0
 	}
 	m.sent++
 	m.ledger.Charge(from, cost.Tx, size)
@@ -143,6 +164,9 @@ func (m *Medium) Unicast(from, to int, size int64, payload any) bool {
 	if !m.isNeighbor(from, to) {
 		panic(fmt.Sprintf("radio: unicast %d->%d between non-neighbors", from, to))
 	}
+	if !m.alive[from] {
+		return false
+	}
 	m.sent++
 	m.ledger.Charge(from, cost.Tx, size)
 	if m.loss > 0 && m.rng.Float64() < m.loss {
@@ -166,6 +190,12 @@ func (m *Medium) isNeighbor(from, to int) bool {
 }
 
 func (m *Medium) deliver(to int, pkt Packet) {
+	if !m.alive[to] {
+		// The receiver died while the packet was in flight: no Rx charge
+		// (the radio is off), no handler, counted as a drop.
+		m.dropped++
+		return
+	}
 	m.delivered++
 	m.ledger.Charge(to, cost.Rx, pkt.Size)
 	if h := m.handlers[to]; h != nil {

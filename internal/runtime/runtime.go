@@ -44,6 +44,17 @@ type Config struct {
 	StallPoll time.Duration
 	// MaxWait bounds the wall-clock run time; zero means 30s.
 	MaxWait time.Duration
+	// Crashed marks nodes (by grid index) as failed-stop for the whole
+	// round: they never start, never receive, and traffic addressed to them
+	// is dropped. Nil means everyone is up.
+	Crashed []bool
+	// Failover redirects leader-addressed sends from a crashed leader to
+	// the first non-crashed member of its block in row-major grid order —
+	// the same deterministic promotion rule the DES machine uses. The
+	// concurrent engine models the steady state after detection; the
+	// detection dynamics themselves (ack timeouts) live in the DES engine
+	// where time is modeled.
+	Failover bool
 }
 
 // Result is the outcome of one concurrent round.
@@ -99,10 +110,27 @@ type run struct {
 	dropped   atomic.Int64
 	loss      float64
 	retries   int
+	crashed   []bool
+	failover  bool
+}
+
+// leaderOf resolves the (possibly acting) level-k leader for c.
+func (r *run) leaderOf(c geom.Coord, level int) geom.Coord {
+	leader := r.hier.LeaderAt(c, level)
+	g := r.hier.Grid
+	if !r.failover || r.crashed == nil || !r.crashed[g.Index(leader)] {
+		return leader
+	}
+	for _, m := range r.hier.Followers(leader, level) {
+		if !r.crashed[g.Index(m)] {
+			return m
+		}
+	}
+	return leader
 }
 
 func (f *nodeFx) Send(level int, size int64, payload any) {
-	dst := f.rt.hier.LeaderAt(f.coord, level)
+	dst := f.rt.leaderOf(f.coord, level)
 	route := routing.XYRoute(f.grid, f.coord, dst)
 	// chargeRoute mirrors the DES machine's hop-by-hop accounting, so loss-
 	// and retry-free runs produce identical ledgers across engines.
@@ -112,10 +140,17 @@ func (f *nodeFx) Send(level int, size int64, payload any) {
 			atomic.AddInt64(&f.energy[f.grid.Index(route[i])], units)   // rx
 		}
 	}
+	dstDead := f.rt.crashed != nil && f.rt.crashed[f.grid.Index(dst)]
 	delivered := false
 	for attempt := 0; attempt <= f.rt.retries; attempt++ {
 		chargeRoute(size)
 		if f.rt.loss > 0 && f.rng.Float64() < f.rt.loss {
+			f.rt.dropped.Add(1)
+			continue
+		}
+		if dstDead {
+			// The packet reached a dead radio: no ack, so every attempt
+			// times out like a loss.
 			f.rt.dropped.Add(1)
 			continue
 		}
@@ -198,7 +233,14 @@ func (rt *Runtime) Run(m *field.BinaryMap, ledger *cost.Ledger, cfg Config) (*Re
 		res.Final = gr.Exfiltrated[0].(*regions.Summary)
 		res.Stalled = false
 	}
-	res.RootCoverage = rootCoverageEnv(gr.Envs[g.Index(h.Root())], res.Final)
+	// Under failover the acting root holds the best partial summary, not the
+	// (possibly dead) static root.
+	actingRoot := h.Root()
+	if cfg.Failover && cfg.Crashed != nil {
+		r := &run{hier: h, crashed: cfg.Crashed, failover: true}
+		actingRoot = r.leaderOf(h.Root(), h.Levels)
+	}
+	res.RootCoverage = rootCoverageEnv(gr.Envs[g.Index(actingRoot)], res.Final)
 	return res, nil
 }
 
@@ -214,12 +256,17 @@ func (rt *Runtime) RunProgram(factory Factory, ledger *cost.Ledger, cfg Config) 
 		return nil, fmt.Errorf("runtime: negative retries %d", cfg.Retries)
 	}
 	n := g.N()
+	if cfg.Crashed != nil && len(cfg.Crashed) != n {
+		return nil, fmt.Errorf("runtime: Crashed tracks %d nodes, grid has %d", len(cfg.Crashed), n)
+	}
 	r := &run{
-		hier:    h,
-		inboxes: make([]chan envelope, n),
-		stop:    make(chan struct{}),
-		loss:    cfg.Loss,
-		retries: cfg.Retries,
+		hier:     h,
+		inboxes:  make([]chan envelope, n),
+		stop:     make(chan struct{}),
+		loss:     cfg.Loss,
+		retries:  cfg.Retries,
+		crashed:  cfg.Crashed,
+		failover: cfg.Failover,
 	}
 	// Inbox capacity: a node receives at most 3 messages per level it
 	// leads, so levels*3+4 can never block a sender for long; capacity
@@ -231,7 +278,13 @@ func (rt *Runtime) RunProgram(factory Factory, ledger *cost.Ledger, cfg Config) 
 	energy := make([]int64, n)
 	insts := make([]*program.Instance, n)
 	var wg sync.WaitGroup
-	r.pending.Store(int64(n)) // one unit of start work per node
+	alive := int64(0)
+	for idx := 0; idx < n; idx++ {
+		if cfg.Crashed == nil || !cfg.Crashed[idx] {
+			alive++
+		}
+	}
+	r.pending.Store(alive) // one unit of start work per live node
 
 	for _, c := range g.Coords() {
 		c := c
@@ -243,7 +296,14 @@ func (rt *Runtime) RunProgram(factory Factory, ledger *cost.Ledger, cfg Config) 
 			energy: energy,
 			grid:   g,
 		}
+		// Crashed nodes still get an instance (so Envs stays fully indexed)
+		// but never a goroutine: they do no start work, fire no rules, and
+		// their inbox never drains — which is fine, because sends to them
+		// are dropped before enqueueing.
 		insts[idx] = program.NewInstance(factory(c), fx)
+		if cfg.Crashed != nil && cfg.Crashed[idx] {
+			continue
+		}
 		wg.Add(1)
 		go func(inst *program.Instance, inbox chan envelope) {
 			defer wg.Done()

@@ -17,17 +17,33 @@ import (
 // Time is simulated time in cost-model latency units.
 type Time int64
 
+// NoOwner marks an event that belongs to no node; CancelOwner never touches
+// it.
+const NoOwner = -1
+
 // Event is a unit of scheduled work.
 type Event struct {
 	At   Time
 	Fire func()
 
-	seq int64 // tie-breaker: FIFO among equal timestamps
-	idx int   // heap index, -1 once popped or cancelled
+	seq   int64  // tie-breaker: FIFO among equal timestamps
+	idx   int    // heap index, -1 once popped or cancelled
+	owner int    // node that owns the event, or NoOwner
+	gen   uint64 // bumped on every reuse; stale Handles compare unequal
 }
 
-// Cancelled reports whether the event was cancelled or already fired.
-func (e *Event) Cancelled() bool { return e.idx == -1 }
+// Handle identifies one scheduling of an event. It is a value, safe to copy
+// and to retain indefinitely: once the event fires or is cancelled the
+// handle goes stale, and cancelling a stale handle is always a no-op even
+// if the kernel has recycled the underlying Event for a later scheduling.
+type Handle struct {
+	e   *Event
+	gen uint64
+}
+
+// Pending reports whether the scheduling this handle refers to is still
+// queued (it has neither fired nor been cancelled).
+func (h Handle) Pending() bool { return h.e != nil && h.e.gen == h.gen && h.e.idx != -1 }
 
 type eventHeap []*Event
 
@@ -65,10 +81,10 @@ type Kernel struct {
 	nextSeq int64
 	fired   int64
 	running bool
-	// free recycles fired events so steady-state simulation (the experiment
-	// sweeps schedule millions of deliveries) stops allocating one Event per
-	// message. Handles returned by At/After are only valid until the event
-	// fires; see Cancel.
+	// free recycles fired and cancelled events so steady-state simulation
+	// (the experiment sweeps schedule millions of deliveries) stops
+	// allocating one Event per message. Reuse bumps the event's generation,
+	// which is what keeps stale Handles harmless; see Cancel.
 	free []*Event
 }
 
@@ -88,7 +104,37 @@ func (k *Kernel) Pending() int { return len(k.queue) }
 
 // At schedules fire to run at absolute time t and returns the event handle.
 // Scheduling into the past panics: it is always a protocol bug.
-func (k *Kernel) At(t Time, fire func()) *Event {
+func (k *Kernel) At(t Time, fire func()) Handle {
+	return k.schedule(NoOwner, t, fire)
+}
+
+// After schedules fire to run d time units from now.
+func (k *Kernel) After(d Time, fire func()) Handle {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	return k.At(k.now+d, fire)
+}
+
+// AtOwned is At with the event tagged as belonging to a node, so a fault
+// injector can CancelOwner everything the node still had scheduled (retry
+// timers, watchdogs, deliveries addressed to it) the instant it crashes.
+func (k *Kernel) AtOwned(owner int, t Time, fire func()) Handle {
+	if owner < 0 {
+		panic(fmt.Sprintf("sim: invalid event owner %d", owner))
+	}
+	return k.schedule(owner, t, fire)
+}
+
+// AfterOwned is After with an owner tag.
+func (k *Kernel) AfterOwned(owner int, d Time, fire func()) Handle {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	return k.AtOwned(owner, k.now+d, fire)
+}
+
+func (k *Kernel) schedule(owner int, t Time, fire func()) Handle {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: scheduling at %d before now %d", t, k.now))
 	}
@@ -100,34 +146,51 @@ func (k *Kernel) At(t Time, fire func()) *Event {
 		e = k.free[n-1]
 		k.free[n-1] = nil
 		k.free = k.free[:n-1]
-		*e = Event{At: t, Fire: fire, seq: k.nextSeq}
+		*e = Event{At: t, Fire: fire, seq: k.nextSeq, owner: owner, gen: e.gen + 1}
 	} else {
-		e = &Event{At: t, Fire: fire, seq: k.nextSeq}
+		e = &Event{At: t, Fire: fire, seq: k.nextSeq, owner: owner}
 	}
 	k.nextSeq++
 	heap.Push(&k.queue, e)
-	return e
+	return Handle{e: e, gen: e.gen}
 }
 
-// After schedules fire to run d time units from now.
-func (k *Kernel) After(d Time, fire func()) *Event {
-	if d < 0 {
-		panic(fmt.Sprintf("sim: negative delay %d", d))
-	}
-	return k.At(k.now+d, fire)
-}
-
-// Cancel removes a scheduled event. Cancelling an event that already fired
-// or was already cancelled is a no-op — but because fired events are
-// recycled, a handle must not be cancelled after its event has fired unless
-// the caller knows the kernel scheduled nothing since (protocol code in
-// this repo never retains handles across deliveries).
-func (k *Kernel) Cancel(e *Event) {
-	if e == nil || e.idx == -1 {
+// Cancel removes a scheduled event. Cancelling a handle whose event already
+// fired or was already cancelled is always a safe no-op: the generation
+// check makes stale handles inert even after the kernel recycles the
+// underlying Event for a later scheduling.
+func (k *Kernel) Cancel(h Handle) {
+	if !h.Pending() {
 		return
 	}
+	e := h.e
 	heap.Remove(&k.queue, e.idx)
 	e.idx = -1
+	e.Fire = nil
+	k.free = append(k.free, e)
+}
+
+// CancelOwner removes every pending event owned by owner and returns how
+// many it cancelled. This is the fail-stop semantics of the fault layer: a
+// crashed node's timers never fire and in-flight deliveries addressed to it
+// evaporate.
+func (k *Kernel) CancelOwner(owner int) int {
+	if owner < 0 {
+		return 0
+	}
+	var victims []*Event
+	for _, e := range k.queue {
+		if e.owner == owner {
+			victims = append(victims, e)
+		}
+	}
+	for _, e := range victims {
+		heap.Remove(&k.queue, e.idx)
+		e.idx = -1
+		e.Fire = nil
+		k.free = append(k.free, e)
+	}
+	return len(victims)
 }
 
 // Step fires the single earliest pending event and reports whether one

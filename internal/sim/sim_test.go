@@ -68,26 +68,101 @@ func TestAfterRelativeToNow(t *testing.T) {
 func TestCancel(t *testing.T) {
 	k := New()
 	fired := false
-	e := k.At(10, func() { fired = true })
-	if e.Cancelled() {
-		t.Error("fresh event should not be cancelled")
+	h := k.At(10, func() { fired = true })
+	if !h.Pending() {
+		t.Error("fresh event should be pending")
 	}
-	k.Cancel(e)
-	if !e.Cancelled() {
-		t.Error("event should report cancelled")
+	k.Cancel(h)
+	if h.Pending() {
+		t.Error("cancelled event should not be pending")
 	}
 	k.Run()
 	if fired {
 		t.Error("cancelled event fired")
 	}
-	k.Cancel(e) // double-cancel is a no-op
-	k.Cancel(nil)
+	k.Cancel(h) // double-cancel is a no-op
+	k.Cancel(Handle{})
+}
+
+// Regression for the PR 1 free-list: cancelling a handle whose event
+// already fired must be a no-op, even after the kernel has recycled the
+// Event struct for a different scheduling.
+func TestCancelAfterFireIsNoOp(t *testing.T) {
+	k := New()
+	fired := false
+	h := k.At(1, func() { fired = true })
+	k.Run()
+	if !fired {
+		t.Fatal("event did not fire")
+	}
+	if h.Pending() {
+		t.Error("fired event should not be pending")
+	}
+	k.Cancel(h) // must not panic or corrupt the free list
+
+	// The dangerous case: the fired event's struct is recycled for a new
+	// scheduling, and then the stale handle is cancelled. The new event
+	// must survive.
+	secondFired := false
+	h2 := k.After(1, func() { secondFired = true })
+	k.Cancel(h) // stale handle, possibly aliasing h2's Event
+	if !h2.Pending() {
+		t.Fatal("stale cancel killed an unrelated recycled event")
+	}
+	k.Run()
+	if !secondFired {
+		t.Fatal("recycled event did not fire after stale cancel")
+	}
+	// Same for a handle that was cancelled (not fired) and then recycled.
+	h3 := k.After(1, func() {})
+	k.Cancel(h3)
+	h4 := k.After(1, func() {})
+	k.Cancel(h3)
+	if !h4.Pending() {
+		t.Fatal("stale cancel of a cancelled handle killed a recycled event")
+	}
+}
+
+func TestCancelOwner(t *testing.T) {
+	k := New()
+	var fired []int
+	k.AtOwned(1, 10, func() { fired = append(fired, 1) })
+	k.AtOwned(2, 11, func() { fired = append(fired, 2) })
+	k.AtOwned(1, 12, func() { fired = append(fired, 1) })
+	k.At(13, func() { fired = append(fired, -1) })
+	if n := k.CancelOwner(1); n != 2 {
+		t.Fatalf("CancelOwner cancelled %d events, want 2", n)
+	}
+	if n := k.CancelOwner(1); n != 0 {
+		t.Fatalf("second CancelOwner cancelled %d events, want 0", n)
+	}
+	if n := k.CancelOwner(NoOwner); n != 0 {
+		t.Fatalf("CancelOwner(NoOwner) cancelled %d events, want 0", n)
+	}
+	k.Run()
+	if len(fired) != 2 || fired[0] != 2 || fired[1] != -1 {
+		t.Fatalf("fired = %v, want [2 -1]", fired)
+	}
+}
+
+func TestOwnedEventOrderingMatchesUnowned(t *testing.T) {
+	k := New()
+	var order []int
+	k.AtOwned(7, 5, func() { order = append(order, 0) })
+	k.At(5, func() { order = append(order, 1) })
+	k.AfterOwned(9, 5, func() { order = append(order, 2) })
+	k.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want FIFO", order)
+		}
+	}
 }
 
 func TestCancelOneOfMany(t *testing.T) {
 	k := New()
 	var got []int
-	var events []*Event
+	var events []Handle
 	for i := 0; i < 10; i++ {
 		i := i
 		events = append(events, k.At(Time(i), func() { got = append(got, i) }))
@@ -218,7 +293,7 @@ func TestHeapStress(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	k := New()
 	firedCount := make(map[int]int)
-	var live []*Event
+	var live []Handle
 	total := 0
 	for i := 0; i < 2000; i++ {
 		id := i

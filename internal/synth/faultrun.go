@@ -1,0 +1,220 @@
+// Fault-tolerant execution of the synthesized labeling program. The plain
+// driver (RunOnMachine) assumes every node survives and every message
+// lands; under crashes the Figure 4 protocol deadlocks, because a leader
+// waits forever for its 3-message quorum. RunWithFaults adds the two
+// mechanisms a deployed WSN would use — both deterministic, so sweeps are
+// reproducible:
+//
+//   - leader failover (routing level): SendToLeader resolves to the acting
+//     leader, the first alive member of the block in row-major grid order.
+//     Every follower can evaluate the same rule locally after a timeout, so
+//     the redirected quorum traffic re-converges without any agreement
+//     protocol. This is varch.Machine.SetFailover.
+//
+//   - per-level deadlines (protocol level): the acting level-k leader of
+//     every block carries a watchdog at k·LevelDeadline. If the quorum
+//     never arrived, the watchdog hoists whatever partial sub-graphs the
+//     node holds at levels ≤ k and ships them up anyway. The root deadline
+//     forces exfiltration of a partial summary — graceful degradation
+//     measured as labeling coverage instead of an all-or-nothing round.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wsnva/internal/fault"
+	"wsnva/internal/field"
+	"wsnva/internal/geom"
+	"wsnva/internal/program"
+	"wsnva/internal/regions"
+	"wsnva/internal/sim"
+	"wsnva/internal/varch"
+)
+
+// FaultConfig parameterizes one fault-injected labeling round.
+type FaultConfig struct {
+	// Schedule lists the fail-stop crashes to inject.
+	Schedule fault.Schedule
+	// Loss is the per-attempt message loss probability, drawn from a
+	// rand source seeded with LossSeed. Zero disables loss.
+	Loss     float64
+	LossSeed int64
+	// Reliability arms the ARQ policy on the machine (zero value: off).
+	Reliability fault.Reliability
+	// LevelDeadline is the per-level watchdog period: the acting level-k
+	// leader force-promotes at k·LevelDeadline. It must comfortably exceed
+	// the natural per-level latency, or the watchdogs will truncate healthy
+	// rounds. Zero disables watchdogs — under crashes the round then stalls
+	// and the result reports whatever was exfiltrated (usually nothing).
+	LevelDeadline sim.Time
+}
+
+// DefaultLevelDeadline returns a watchdog period that dominates the natural
+// per-level latency of a healthy round on vm's grid, with a wide margin, so
+// a zero-fault round under watchdogs is indistinguishable from a plain one.
+func DefaultLevelDeadline(vm *varch.Machine) sim.Time {
+	side := vm.Grid().Cols
+	return sim.Time(32 * side * side)
+}
+
+// FaultResult is the outcome of a fault-injected round.
+type FaultResult struct {
+	Final       *regions.Summary // first exfiltrated summary (nil: stalled)
+	Completion  sim.Time         // kernel time of that exfiltration
+	ExfilCoord  geom.Coord       // node that exfiltrated (acting root)
+	RuleFirings int64
+	// Coverage is the fraction of grid cells the exfiltrated summary
+	// accounts for: 1 means the full map was labeled despite the faults.
+	Coverage float64
+	// Crashed is the number of nodes the schedule killed.
+	Crashed int
+	// ForcedPromotions counts watchdogs that actually hoisted and shipped
+	// partial data; LeaderFailovers counts watchdog firings that found the
+	// static leader dead and acted through a promoted follower.
+	ForcedPromotions int64
+	LeaderFailovers  int64
+	Stats            varch.FaultStats
+}
+
+// faultFx adapts the machine to program.Effector under faults: unlike the
+// plain driver it accepts exfiltration from any acting root and keeps only
+// the first one (a forced root watchdog may fire after a natural finish).
+type faultFx struct {
+	vm    *varch.Machine
+	coord geom.Coord
+	out   *FaultResult
+}
+
+func (f *faultFx) Send(level int, size int64, payload any) {
+	f.vm.SendToLeader(f.coord, level, size, payload)
+}
+
+func (f *faultFx) Exfiltrate(result any) {
+	if f.out.Final != nil {
+		return
+	}
+	f.out.Final = result.(*regions.Summary)
+	f.out.Completion = f.vm.Kernel().Now()
+	f.out.ExfilCoord = f.coord
+}
+
+func (f *faultFx) Compute(units int64) { f.vm.Compute(f.coord, units) }
+func (f *faultFx) Sense(units int64)   { f.vm.Sense(f.coord, units) }
+
+// RunWithFaults executes one labeling round on vm under cfg's fault load
+// and returns the (possibly partial) outcome. The round is byte-
+// deterministic: same machine, map, and config always produce the same
+// result.
+func RunWithFaults(vm *varch.Machine, m *field.BinaryMap, cfg FaultConfig) (*FaultResult, error) {
+	h := vm.Hier
+	g := h.Grid
+	if m.Grid != g {
+		return nil, fmt.Errorf("synth: map grid and machine grid differ")
+	}
+	if cfg.Loss > 0 {
+		vm.SetLoss(cfg.Loss, rand.New(rand.NewSource(cfg.LossSeed)))
+	}
+	vm.SetReliability(cfg.Reliability)
+	vm.SetFailover(true)
+
+	res := &FaultResult{Crashed: len(cfg.Schedule)}
+	insts := make([]*program.Instance, g.N())
+	for _, c := range g.Coords() {
+		c := c
+		fx := &faultFx{vm: vm, coord: c, out: res}
+		spec := LabelingProgram(Config{Hier: h, Coord: c, Sense: SenseFromMap(m, c)})
+		inst := program.NewInstance(spec, fx)
+		insts[g.Index(c)] = inst
+		vm.Handle(c, func(msg varch.Message) {
+			inst.OnMessage(msg.Payload, maxQuiescenceSteps)
+		})
+	}
+
+	injector := fault.NewInjector(vm.Kernel(), g.N())
+	injector.Arm(cfg.Schedule, vm)
+
+	if cfg.LevelDeadline > 0 {
+		for k := 1; k <= h.Levels; k++ {
+			k := k
+			deadline := sim.Time(k) * cfg.LevelDeadline
+			for _, leader := range h.Leaders(k) {
+				leader := leader
+				// The watchdog is the block's collective responsibility, not
+				// any single node's, so it is unowned: crashes never cancel
+				// it, and whoever is acting leader at the deadline handles it.
+				vm.Kernel().At(deadline, func() {
+					watchdogFire(vm, h, insts, res, leader, k)
+				})
+			}
+		}
+	}
+
+	for _, inst := range insts {
+		inst.RunToQuiescence(maxQuiescenceSteps)
+	}
+	vm.Kernel().Run()
+	for _, inst := range insts {
+		res.RuleFirings += inst.Fired()
+	}
+	if res.Final != nil {
+		res.Coverage = float64(res.Final.CoveredCells()) / float64(g.N())
+	}
+	res.Stats = vm.FaultStats()
+	return res, nil
+}
+
+// watchdogFire enforces the level-k deadline for one block: if the acting
+// leader still holds un-shipped sub-graphs at levels ≤ k, they are hoisted
+// into level k and transmitted — partial data beats no data once the
+// deadline passes. Late arrivals after the deadline merge into the node's
+// state but are never shipped (their quorum slot is disarmed), the standard
+// deadline-protocol trade.
+func watchdogFire(vm *varch.Machine, h *varch.Hierarchy, insts []*program.Instance, res *FaultResult, leader geom.Coord, k int) {
+	g := h.Grid
+	acting := geom.Coord{Col: -1, Row: -1}
+	for _, c := range h.Followers(leader, k) {
+		if vm.Alive(c) {
+			acting = c
+			break
+		}
+	}
+	if acting.Col < 0 {
+		return // the whole block is dead; its data died with it
+	}
+	if k == h.Levels && res.Final != nil {
+		return // the round already exfiltrated; nothing to force
+	}
+	inst := insts[g.Index(acting)]
+	env := inst.Env
+	if int(env.Ints[VarRecLevel]) > k {
+		return // the block finished level k naturally
+	}
+	sg := env.Objs[VarSubGraph].([]*regions.Summary)
+	for j := 0; j < k; j++ {
+		if sg[j] == nil {
+			continue
+		}
+		if sg[k] == nil {
+			sg[k] = sg[j]
+		} else {
+			sg[k].Merge(sg[j])
+		}
+		sg[j] = nil
+	}
+	if sg[k] == nil {
+		return // nothing reached this block's level; nothing to ship
+	}
+	mr := env.Objs[VarMsgsRecv].([]int64)
+	for j := 0; j <= k; j++ {
+		mr[j] = -1 // disarm the quorum rule at and below the deadline level
+	}
+	env.Ints[VarRecLevel] = int64(k)
+	env.Bools[VarDone] = false
+	env.Bools[VarTransmit] = true
+	res.ForcedPromotions++
+	if acting != leader {
+		res.LeaderFailovers++
+	}
+	inst.RunToQuiescence(maxQuiescenceSteps)
+}

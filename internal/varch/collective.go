@@ -85,19 +85,23 @@ func (vm *Machine) reduce(leader geom.Coord, level int, vals Values, strat Strat
 		members := h.Followers(leader, level)
 		acc := vals(leader)
 		var maxLat sim.Time
+		received := int64(0)
 		for _, m := range members {
 			if m == leader {
 				continue
 			}
-			e, lat := vm.chargeRoute(m, leader, 1)
-			_ = e
+			_, lat, ok := vm.chargeRoute(m, leader, 1)
+			if !ok {
+				continue
+			}
 			if lat > maxLat {
 				maxLat = lat
 			}
 			acc = combine(acc, vals(m))
+			received++
 		}
 		// Leader combines one unit per received message.
-		lat := vm.Compute(leader, int64(len(members)-1))
+		lat := vm.Compute(leader, received)
 		return acc, maxLat + lat
 
 	case Convergecast:
@@ -112,15 +116,19 @@ func (vm *Machine) reduce(leader geom.Coord, level int, vals Values, strat Strat
 			for _, sub := range h.leadersWithin(leader, level, s) {
 				children := h.Children(sub, s)
 				acc := partial[children[0]]
+				received := int64(0)
 				for _, ch := range children[1:] {
-					_, lat := vm.chargeRoute(ch, sub, 1)
-					if lat > levelLat {
-						levelLat = lat
+					_, lat, ok := vm.chargeRoute(ch, sub, 1)
+					if ok {
+						if lat > levelLat {
+							levelLat = lat
+						}
+						acc = combine(acc, partial[ch])
+						received++
 					}
-					acc = combine(acc, partial[ch])
 					delete(partial, ch)
 				}
-				vm.Compute(sub, int64(len(children)-1))
+				vm.Compute(sub, received)
 				partial[sub] = acc
 			}
 			// All sub-blocks of a level work in parallel; the level's
@@ -144,7 +152,10 @@ func (vm *Machine) GroupSort(leader geom.Coord, level int, vals Values, strat St
 		members := h.Followers(leader, level)
 		for _, m := range members {
 			if m != leader {
-				_, lat := vm.chargeRoute(m, leader, 1)
+				_, lat, ok := vm.chargeRoute(m, leader, 1)
+				if !ok {
+					continue
+				}
 				if lat > latency {
 					latency = lat
 				}
@@ -162,11 +173,19 @@ func (vm *Machine) GroupSort(leader geom.Coord, level int, vals Values, strat St
 				children := h.Children(sub, s)
 				acc := sets[children[0]]
 				for _, ch := range children[1:] {
-					_, lat := vm.chargeRoute(ch, sub, int64(len(sets[ch])))
-					if lat > levelLat {
-						levelLat = lat
+					if len(sets[ch]) == 0 {
+						// The child sub-block lost everything below it;
+						// nothing to forward.
+						delete(sets, ch)
+						continue
 					}
-					acc = append(acc, sets[ch]...)
+					_, lat, ok := vm.chargeRoute(ch, sub, int64(len(sets[ch])))
+					if ok {
+						if lat > levelLat {
+							levelLat = lat
+						}
+						acc = append(acc, sets[ch]...)
+					}
 					delete(sets, ch)
 				}
 				sets[sub] = acc
@@ -200,21 +219,67 @@ func (vm *Machine) GroupRank(leader geom.Coord, level int, vals Values, value in
 }
 
 // chargeRoute charges a size-unit message along the XY route from one node
-// to another and returns the energy and latency consumed. Unlike Send it is
-// synchronous — collectives model their own schedule.
-func (vm *Machine) chargeRoute(from, to geom.Coord, size int64) (cost.Energy, sim.Time) {
+// to another and returns the energy and latency consumed plus whether the
+// message was delivered. Unlike Send it is synchronous — collectives model
+// their own schedule — so the fault layer is applied inline: a dead sender
+// transmits nothing, every attempt draws the loss coin, the ARQ (when
+// enabled) retransmits after the modeled backoff and pays the reverse-route
+// acknowledgment on success, and a dead receiver drops the delivery.
+func (vm *Machine) chargeRoute(from, to geom.Coord, size int64) (cost.Energy, sim.Time, bool) {
 	g := vm.Hier.Grid
 	hops := from.Manhattan(to)
 	if hops == 0 {
-		return 0, 0
+		return 0, 0, vm.aliveIdx(g.Index(from))
 	}
-	var e cost.Energy
-	routing.WalkXY(g, from, to, func(a, b geom.Coord) {
-		e += vm.ledger.ChargeTransfer(g.Index(a), g.Index(b), size)
-	})
+	if !vm.aliveIdx(g.Index(from)) {
+		vm.fstats.Suppressed++
+		return 0, 0, false
+	}
 	vm.msgs++
-	vm.hops += int64(hops)
-	return e, sim.Time(hops) * sim.Time(vm.ledger.Model().TxLatency(size))
+	hopLat := sim.Time(hops) * sim.Time(vm.ledger.Model().TxLatency(size))
+	var e cost.Energy
+	var lat sim.Time
+	maxAttempts := 1
+	if vm.loss > 0 && vm.reliable.Enabled() {
+		maxAttempts = vm.reliable.MaxRetries + 1
+	}
+	sent := false
+	for a := 1; a <= maxAttempts; a++ {
+		routing.WalkXY(g, from, to, func(p, q geom.Coord) {
+			e += vm.ledger.ChargeTransfer(g.Index(p), g.Index(q), size)
+		})
+		vm.hops += int64(hops)
+		lat += hopLat
+		if a > 1 {
+			vm.fstats.Retransmissions++
+		}
+		if vm.loss > 0 && vm.lossRNG.Float64() < vm.loss {
+			vm.fstats.Lost++
+			if a < maxAttempts {
+				lat += vm.reliable.Backoff(a)
+			}
+			continue
+		}
+		sent = true
+		break
+	}
+	if !sent {
+		return e, lat, false
+	}
+	if !vm.aliveIdx(g.Index(to)) {
+		vm.fstats.DeadDrops++
+		return e, lat, false
+	}
+	if vm.reliable.Enabled() {
+		ack := vm.reliable.AckUnits()
+		routing.WalkXY(g, to, from, func(p, q geom.Coord) {
+			e += vm.ledger.ChargeTransfer(g.Index(p), g.Index(q), ack)
+		})
+		vm.fstats.Acks++
+		lat += sim.Time(hops) * sim.Time(vm.ledger.Model().TxLatency(ack))
+	}
+	vm.fstats.Delivered++
+	return e, lat, true
 }
 
 // leadersWithin returns the level-s leaders inside the level-k block led by

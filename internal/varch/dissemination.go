@@ -32,7 +32,12 @@ func (vm *Machine) GroupBroadcast(leader geom.Coord, level int, size int64, payl
 		for _, holder := range holders {
 			for _, ch := range h.Children(holder, s) {
 				if ch != holder {
-					_, lat := vm.chargeRoute(holder, ch, size)
+					_, lat, ok := vm.chargeRoute(holder, ch, size)
+					if !ok {
+						// The transfer died (lost, or ch crashed): ch and its
+						// whole sub-block never see the payload.
+						continue
+					}
 					if lat > levelLat {
 						levelLat = lat
 					}
@@ -43,11 +48,25 @@ func (vm *Machine) GroupBroadcast(leader geom.Coord, level int, size int64, payl
 		holders = next
 		total += levelLat
 	}
-	// Deliver to every member (including the leader) at the modeled time.
+	// Deliver to every member the dissemination reached (including the
+	// leader) at the modeled time. With the fault layer idle every member is
+	// reached and no tracking set is built — the fault-free path stays
+	// allocation-identical.
+	var reached map[geom.Coord]bool
+	if vm.alive != nil || vm.loss > 0 {
+		reached = make(map[geom.Coord]bool, len(holders))
+		for _, hd := range holders {
+			reached[hd] = true
+		}
+	}
+	g := h.Grid
 	for _, m := range h.Followers(leader, level) {
+		if reached != nil && !reached[m] {
+			continue
+		}
 		m := m
 		msg := Message{From: leader, Size: size, Payload: payload}
-		vm.kernel.At(vm.kernel.Now()+total, func() { vm.deliver(m, msg) })
+		vm.kernel.AtOwned(g.Index(m), vm.kernel.Now()+total, func() { vm.deliver(m, msg) })
 	}
 	return total
 }

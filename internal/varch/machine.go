@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"wsnva/internal/cost"
+	"wsnva/internal/fault"
 	"wsnva/internal/geom"
 	"wsnva/internal/routing"
 	"wsnva/internal/sim"
@@ -41,6 +42,16 @@ type Machine struct {
 
 	jitter    sim.Time
 	jitterRNG *rand.Rand
+
+	// Fault layer (see faults.go). alive == nil means no node has ever been
+	// killed — the common case, kept nil so the hot path pays one pointer
+	// compare.
+	alive    []bool
+	loss     float64
+	lossRNG  *rand.Rand
+	reliable fault.Reliability
+	failover bool
+	fstats   FaultStats
 }
 
 // SetTracer attaches an event tracer (nil disables tracing, the default).
@@ -104,6 +115,14 @@ func (vm *Machine) Handle(c geom.Coord, h Handler) {
 // self delivers immediately at zero cost (the paper's mapping exploits
 // this: one quad-tree child is always co-located with its parent).
 func (vm *Machine) Send(from, to geom.Coord, size int64, payload any) {
+	vm.sendMsg(from, to, 0, size, payload)
+}
+
+// sendMsg is Send with the leader level the message was addressed at (0 for
+// point-to-point): under ARQ, a retransmission of a leader-addressed message
+// re-resolves the acting leader, which is exactly how followers "detect" a
+// dead leader — the ack timeout — without any extra protocol.
+func (vm *Machine) sendMsg(from, to geom.Coord, level int, size int64, payload any) {
 	g := vm.Hier.Grid
 	if !g.InBounds(from) || !g.InBounds(to) {
 		panic(fmt.Sprintf("varch: send %v->%v out of grid bounds", from, to))
@@ -111,31 +130,49 @@ func (vm *Machine) Send(from, to geom.Coord, size int64, payload any) {
 	if size < 0 {
 		panic(fmt.Sprintf("varch: negative message size %d", size))
 	}
+	if !vm.aliveIdx(g.Index(from)) {
+		vm.fstats.Suppressed++
+		return
+	}
 	vm.msgs++
 	vm.tracer.Emit(vm.kernel.Now(), trace.Send, from.String(),
 		fmt.Sprintf("-> %v size=%d", to, size))
 	msg := Message{From: from, Size: size, Payload: payload}
 	hops := from.Manhattan(to)
 	if hops == 0 {
-		vm.kernel.After(vm.delay(0), func() { vm.deliver(to, msg) })
+		// Self-delivery crosses no radio: loss and ARQ do not apply, but the
+		// event is owned by the receiver so a crash still cancels it.
+		vm.kernel.AfterOwned(g.Index(to), vm.delay(0), func() { vm.deliver(to, msg) })
 		return
 	}
-	routing.WalkXY(g, from, to, func(a, b geom.Coord) {
-		vm.ledger.ChargeTransfer(g.Index(a), g.Index(b), size)
-	})
-	vm.hops += int64(hops)
-	base := sim.Time(hops) * sim.Time(vm.ledger.Model().TxLatency(size))
-	vm.kernel.After(vm.delay(base), func() { vm.deliver(to, msg) })
+	if vm.loss == 0 && !vm.reliable.Enabled() {
+		// Fast path: identical charges and timing to the fault-free machine.
+		routing.WalkXY(g, from, to, func(a, b geom.Coord) {
+			vm.ledger.ChargeTransfer(g.Index(a), g.Index(b), size)
+		})
+		vm.hops += int64(hops)
+		base := sim.Time(hops) * sim.Time(vm.ledger.Model().TxLatency(size))
+		vm.kernel.AfterOwned(g.Index(to), vm.delay(base), func() { vm.deliver(to, msg) })
+		return
+	}
+	vm.launch(&flight{from: from, to: to, level: level, size: size, msg: msg})
 }
 
 // SendToLeader is the group-communication primitive of Section 3.2: it
 // addresses the sender's level-k leader as a logical entity. The middleware
-// resolves the leader's identity from the sender's own coordinates.
+// resolves the leader's identity from the sender's own coordinates — under
+// failover, the acting leader, so the primitive keeps working after the
+// static leader dies.
 func (vm *Machine) SendToLeader(from geom.Coord, level int, size int64, payload any) {
-	vm.Send(from, vm.Hier.LeaderAt(from, level), size, payload)
+	vm.sendMsg(from, vm.ActingLeaderAt(from, level), level, size, payload)
 }
 
 func (vm *Machine) deliver(to geom.Coord, msg Message) {
+	if !vm.aliveIdx(vm.Hier.Grid.Index(to)) {
+		vm.fstats.DeadDrops++
+		return
+	}
+	vm.fstats.Delivered++
 	vm.tracer.Emit(vm.kernel.Now(), trace.Deliver, to.String(),
 		fmt.Sprintf("<- %v size=%d", msg.From, msg.Size))
 	if h := vm.handlers[vm.Hier.Grid.Index(to)]; h != nil {
