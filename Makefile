@@ -2,14 +2,14 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-short race bench bench-json tables csv report fuzz examples clean
+.PHONY: all check build vet test test-short race bench bench-json soak tables csv report fuzz examples clean
 
 all: build vet test
 
 # The full pre-merge gate: vet, build, the test suite under the race
-# detector, and one quick benchmark iteration to catch allocation or
-# wall-time blowups before they land.
-check: vet build race bench
+# detector, one quick benchmark iteration to catch allocation or
+# wall-time blowups, and a battery-depletion soak before they land.
+check: vet build race bench soak
 
 build:
 	$(GO) build ./...
@@ -32,11 +32,18 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run=^$$ .
 
+# Depletion soak: a widened randomized-but-seeded battery sweep asserting
+# the closed-loop invariants (dead nodes never charged, ledger/bank
+# agreement, depletion counts consistent). SOAK_SEEDS widens the batch
+# beyond the 6 seeds the plain test suite runs.
+soak:
+	SOAK_SEEDS=40 $(GO) test -run TestDepletionSoak -count=1 ./internal/experiments/
+
 # Refresh the committed per-experiment wall-time/alloc baseline.
 bench-json:
 	$(GO) run ./cmd/benchtab -parallel 1 -bench-json BENCH_0.json > /dev/null
 
-# Regenerate every experiment table (E1-E18, A1-A3).
+# Regenerate every experiment table (E1-E20, A1-A3).
 tables:
 	$(GO) run ./cmd/benchtab
 

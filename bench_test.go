@@ -64,6 +64,10 @@ func BenchmarkE17FailureSweep(b *testing.B)   { benchTable(b, experiments.E17Fai
 func BenchmarkE18ReliableDelivery(b *testing.B) {
 	benchTable(b, experiments.E18ReliableDelivery)
 }
+func BenchmarkE19NetworkLifetime(b *testing.B) {
+	benchTable(b, experiments.E19NetworkLifetime)
+}
+func BenchmarkE20DepletionARQ(b *testing.B) { benchTable(b, experiments.E20DepletionARQ) }
 func BenchmarkA1Mappers(b *testing.B)    { benchTable(b, experiments.A1MappingAblation) }
 func BenchmarkA2Workloads(b *testing.B)  { benchTable(b, experiments.A2FieldShapes) }
 func BenchmarkA3CostModels(b *testing.B) { benchTable(b, experiments.A3CostSensitivity) }

@@ -1,5 +1,5 @@
 // Command benchtab regenerates every experiment table of the reproduction
-// (E1–E18 plus the A-series ablations) and prints them in order. Run with
+// (E1–E20 plus the A-series ablations) and prints them in order. Run with
 // -quick for trimmed sweeps, -csv for machine-readable stdout, -out to also
 // write one CSV file per experiment, -only to select experiments by ID,
 // -parallel to bound the worker pool, or -bench-json to record per-experiment
@@ -90,6 +90,8 @@ func main() {
 		{"E16", experiments.E16WholeApp},
 		{"E17", experiments.E17FailureSweep},
 		{"E18", experiments.E18ReliableDelivery},
+		{"E19", experiments.E19NetworkLifetime},
+		{"E20", experiments.E20DepletionARQ},
 		{"A1", experiments.A1MappingAblation},
 		{"A2", experiments.A2FieldShapes},
 		{"A3", experiments.A3CostSensitivity},

@@ -45,6 +45,8 @@ func main() {
 		{"E15", "Section 2: simulated lifetime to first node death", experiments.E15Lifetime},
 		{"E17", "Extension: labeling under fail-stop crashes with watchdog failover", experiments.E17FailureSweep},
 		{"E18", "Extension: stop-and-wait ARQ under loss and crashes", experiments.E18ReliableDelivery},
+		{"E19", "Extension: network lifetime under battery depletion, static vs rotated leaders", experiments.E19NetworkLifetime},
+		{"E20", "Extension: ARQ under loss accelerates battery depletion", experiments.E20DepletionARQ},
 		{"A1", "Ablation: mapping strategies", experiments.A1MappingAblation},
 		{"A2", "Ablation: workload shapes", experiments.A2FieldShapes},
 		{"A3", "Ablation: cost-model sensitivity", experiments.A3CostSensitivity},

@@ -1,0 +1,161 @@
+// Package battery closes the loop between the cost model and the fault
+// model: every node carries a finite energy budget, every cost.Ledger
+// charge drains it, and the charge that crosses the budget fail-stops the
+// node at the precise simulated time of the depleting operation. Where the
+// fault package injects crashes as *inputs* (externally scheduled), the
+// battery makes death an *output* of the system's own behavior — ARQ
+// retransmissions, collective traffic, and leader duties all spend real
+// energy, so the paper's lifetime and energy-balance metrics (Section 2)
+// become emergent, measurable properties instead of post-hoc
+// extrapolations from one round's ledger.
+//
+// Mechanically a Bank implements cost.Meter. Attach it with
+// Ledger.SetMeter and it observes every Charge before the charge lands:
+//
+//   - a charge to a live node is granted and accumulated; if the node's
+//     cumulative drain then exceeds its capacity, the node is declared
+//     depleted and the OnDeplete callback fires synchronously — inside the
+//     charging event, so the death is ordered at exactly the depleting
+//     operation's simulated time. The depleting charge itself is granted
+//     (the "dying gasp"): the operation that exhausted the battery
+//     completes, and only subsequent activity is silenced.
+//
+//   - a charge to a depleted node is vetoed: Charge records nothing and
+//     returns 0. A dead radio neither transmits nor receives, so the
+//     ledger never moves again for that node — the dead-nodes-are-never-
+//     charged invariant the property tests pin.
+//
+// Everything is deterministic: capacities are fixed or seed-derived, and
+// depletion order is a pure function of the charge sequence.
+package battery
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wsnva/internal/cost"
+)
+
+// Unlimited is an effectively infinite capacity: no realistic simulation
+// accumulates half of int64 energy units. A bank whose every node holds
+// Unlimited never kills anyone, which is what the infinite-budget identity
+// property exercises.
+const Unlimited = cost.Energy(1) << 62
+
+// Bank tracks one battery per node. It implements cost.Meter.
+type Bank struct {
+	capacity []cost.Energy
+	drained  []cost.Energy
+	dead     []bool
+	deaths   int
+	// onDeplete, if set, fires synchronously the moment a node's drain
+	// crosses its capacity — after the crossing charge is granted, before
+	// Absorb returns. The callback typically routes to fault.Injector.Fail
+	// (or directly to a Kill target plus CancelOwner) and must not charge
+	// the ledger the bank is metering.
+	onDeplete func(node int)
+}
+
+// Uniform returns a bank giving every one of n nodes the same capacity.
+func Uniform(n int, capacity cost.Energy) *Bank {
+	if n <= 0 {
+		panic(fmt.Sprintf("battery: bank needs positive node count, got %d", n))
+	}
+	if capacity < 0 {
+		panic(fmt.Sprintf("battery: negative capacity %d", capacity))
+	}
+	caps := make([]cost.Energy, n)
+	for i := range caps {
+		caps[i] = capacity
+	}
+	return fromCaps(caps)
+}
+
+// Heterogeneous returns a bank with per-node capacities drawn uniformly
+// from [lo, hi], seed-derived — the mixed-provisioning deployments the WSN
+// literature studies, deterministic per seed.
+func Heterogeneous(n int, lo, hi cost.Energy, seed int64) *Bank {
+	if n <= 0 {
+		panic(fmt.Sprintf("battery: bank needs positive node count, got %d", n))
+	}
+	if lo < 0 || hi < lo {
+		panic(fmt.Sprintf("battery: bad capacity range [%d, %d]", lo, hi))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	caps := make([]cost.Energy, n)
+	for i := range caps {
+		caps[i] = lo + cost.Energy(rng.Int63n(int64(hi-lo)+1))
+	}
+	return fromCaps(caps)
+}
+
+// FromCapacities returns a bank over an explicit capacity vector.
+func FromCapacities(caps []cost.Energy) *Bank {
+	if len(caps) == 0 {
+		panic("battery: empty capacity vector")
+	}
+	for i, c := range caps {
+		if c < 0 {
+			panic(fmt.Sprintf("battery: negative capacity %d for node %d", c, i))
+		}
+	}
+	return fromCaps(append([]cost.Energy(nil), caps...))
+}
+
+func fromCaps(caps []cost.Energy) *Bank {
+	return &Bank{
+		capacity: caps,
+		drained:  make([]cost.Energy, len(caps)),
+		dead:     make([]bool, len(caps)),
+	}
+}
+
+// OnDeplete installs the depletion callback (nil disables). It fires at
+// most once per node, synchronously inside the depleting charge.
+func (b *Bank) OnDeplete(f func(node int)) { b.onDeplete = f }
+
+// Absorb implements cost.Meter: veto charges to depleted nodes, grant and
+// accumulate everything else, and fail-stop a node the instant its drain
+// exceeds capacity.
+func (b *Bank) Absorb(node int, _ cost.Op, e cost.Energy) bool {
+	if b.dead[node] {
+		return false
+	}
+	if e == 0 {
+		return true
+	}
+	b.drained[node] += e
+	if b.drained[node] > b.capacity[node] {
+		b.dead[node] = true
+		b.deaths++
+		if b.onDeplete != nil {
+			b.onDeplete(node)
+		}
+	}
+	return true
+}
+
+// N returns the number of nodes the bank tracks.
+func (b *Bank) N() int { return len(b.capacity) }
+
+// Capacity returns node's budget.
+func (b *Bank) Capacity(node int) cost.Energy { return b.capacity[node] }
+
+// Drained returns node's cumulative granted charge. For a depleted node it
+// is frozen at the value that killed it (capacity plus the dying gasp's
+// overshoot).
+func (b *Bank) Drained(node int) cost.Energy { return b.drained[node] }
+
+// Residual returns node's remaining budget (never negative).
+func (b *Bank) Residual(node int) cost.Energy {
+	if r := b.capacity[node] - b.drained[node]; r > 0 {
+		return r
+	}
+	return 0
+}
+
+// Depleted reports whether node's battery is exhausted.
+func (b *Bank) Depleted(node int) bool { return b.dead[node] }
+
+// Deaths returns how many nodes have depleted so far.
+func (b *Bank) Deaths() int { return b.deaths }

@@ -61,6 +61,90 @@ func (r *Rotator) Rotate() (*Result, error) {
 	return res, nil
 }
 
+// RotateResidual re-elects each cell's executor on residual spend among
+// the cell's *alive* members — the rotation mode for degrading networks,
+// where the full broadcast protocol breaks down: dead nodes keep their
+// leader flag forever (they cannot hear demotions), so Rotate's election
+// would report conflicts. Instead, each cell settles locally: every alive
+// member announces its score once, paying one Tx and one Rx per alive
+// listener under the uniform cost model (charged directly to the ledger —
+// through the battery meter when one is attached, so the rotation's own
+// control traffic can deplete nodes mid-election), and the argmin spend
+// among the members still alive afterwards wins, excluding the incumbent
+// whenever an alternative survives so the role actually moves. Ties break
+// toward the lower node ID. A cell whose members are all dead keeps its
+// dead incumbent bound — traffic addressed to it drops at the radio, which
+// downstream machinery (emul dispatch, topology tables) already handles,
+// whereas an unbound cell would be a structural error.
+//
+// alive reports node liveness (nil means everyone is alive). It is
+// re-consulted after the score exchange, so depletions caused by the
+// exchange itself are honored. Returns the cells whose leader changed.
+func (r *Rotator) RotateResidual(alive func(id int) bool) []geom.Coord {
+	up := func(id int) bool { return alive == nil || alive(id) }
+	members := r.med.Network().CellMembers(r.grid)
+	var changed []geom.Coord
+	for idx, cellNodes := range members {
+		cell := r.grid.CoordOf(idx)
+		incumbent, bound := r.current.Leaders[cell]
+		if !bound {
+			continue // unoccupied cell — never had an executor
+		}
+		var live []int
+		for _, id := range cellNodes {
+			if up(id) {
+				live = append(live, id)
+			}
+		}
+		if len(live) == 0 {
+			continue // fully dead cell: keep the dead incumbent bound
+		}
+		// Snapshot spends first (the election must not chase its own
+		// traffic), then charge the score exchange.
+		spend := make(map[int]cost.Energy, len(live))
+		for _, id := range live {
+			spend[id] = r.ledger.Energy(id)
+		}
+		for _, id := range live {
+			r.ledger.Charge(id, cost.Tx, scoreMsgSize)
+			for _, other := range live {
+				if other != id {
+					r.ledger.Charge(other, cost.Rx, scoreMsgSize)
+				}
+			}
+		}
+		pick := func(excludeIncumbent bool) int {
+			best := -1
+			for _, id := range live {
+				if !up(id) {
+					continue // depleted by the exchange itself
+				}
+				if excludeIncumbent && id == incumbent {
+					continue
+				}
+				if best == -1 || spend[id] < spend[best] || (spend[id] == spend[best] && id < best) {
+					best = id
+				}
+			}
+			return best
+		}
+		winner := pick(true)
+		if winner == -1 {
+			winner = pick(false)
+		}
+		if winner == -1 {
+			continue // the exchange killed the whole cell
+		}
+		if winner != incumbent {
+			r.current.Leaders[cell] = winner
+			changed = append(changed, cell)
+		}
+		r.ledCount[winner]++
+	}
+	r.rounds++
+	return changed
+}
+
 // Rounds returns how many rotations have run.
 func (r *Rotator) Rounds() int { return r.rounds }
 

@@ -133,6 +133,19 @@ type Ledger struct {
 	model  *Model
 	energy []Energy
 	ops    []int64 // per-op unit counts, for diagnostics
+	meter  Meter   // nil: the unhooked fast path
+}
+
+// Meter observes every charge before it lands — the attachment point for
+// closed-loop energy depletion (internal/battery). Absorb is called with
+// the node, the operation, and the energy about to be charged; returning
+// false vetoes the charge entirely (the node is dead: its radio and CPU
+// are off, so neither energy nor op units are recorded). A Meter may react
+// to the charge it grants — the battery layer fail-stops the node the
+// instant the granted charge crosses its budget — but must not recursively
+// charge the same ledger.
+type Meter interface {
+	Absorb(node int, op Op, e Energy) bool
 }
 
 // NewLedger returns a ledger for n nodes charging under model m.
@@ -146,13 +159,26 @@ func NewLedger(m *Model, n int) *Ledger {
 // Model returns the cost model the ledger charges under.
 func (l *Ledger) Model() *Model { return l.model }
 
+// SetMeter attaches a charge meter (nil detaches). With no meter attached
+// Charge pays exactly one pointer compare — the zero-overhead guarantee
+// that keeps battery-free runs byte-identical to the pre-battery build.
+func (l *Ledger) SetMeter(m Meter) { l.meter = m }
+
+// Meter returns the attached meter, or nil.
+func (l *Ledger) Meter() Meter { return l.meter }
+
 // N returns the number of nodes tracked.
 func (l *Ledger) N() int { return len(l.energy) }
 
 // Charge records that node performed op on units data units and returns the
-// energy charged.
+// energy charged. With a meter attached the charge is offered to it first;
+// a vetoed charge (the node's battery is depleted) records nothing and
+// returns 0.
 func (l *Ledger) Charge(node int, op Op, units int64) Energy {
 	e := l.model.EnergyOf(op, units)
+	if l.meter != nil && !l.meter.Absorb(node, op, e) {
+		return 0
+	}
 	l.energy[node] += e
 	l.ops[op] += units
 	return e

@@ -1,5 +1,5 @@
 // Package experiments implements the reproduction harness: one function per
-// experiment in DESIGN.md's per-experiment index (E1–E18 plus the A-series
+// experiment in DESIGN.md's per-experiment index (E1–E20 plus the A-series
 // ablations), each returning a printable table. cmd/benchtab prints them
 // all; bench_test.go wraps each in a testing.B benchmark; EXPERIMENTS.md
 // records the observed outputs against the paper's claims.

@@ -53,7 +53,7 @@ func E17FailureSweep(o Options) *stats.Table {
 		side, frac := ss[i/len(fracs)], fracs[i%len(fracs)]
 		n := side * side
 		res, vm := faultRound(side, 7, synth.FaultConfig{
-			Schedule: fault.Random(n, frac, crashWindow, 1000+int64(side)),
+			Schedule: fault.MustRandom(n, frac, crashWindow, 1000+int64(side)),
 		})
 		completion := any("stalled")
 		if res.Final != nil {
@@ -82,7 +82,7 @@ func E18ReliableDelivery(o Options) *stats.Table {
 		rel := arqs[i%len(arqs)]
 		n := side * side
 		res, vm := faultRound(side, 7, synth.FaultConfig{
-			Schedule:    fault.Random(n, 0.1, crashWindow, 1000+int64(side)),
+			Schedule:    fault.MustRandom(n, 0.1, crashWindow, 1000+int64(side)),
 			Loss:        loss,
 			LossSeed:    33 + int64(side),
 			Reliability: rel,

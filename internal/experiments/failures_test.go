@@ -39,7 +39,7 @@ func TestE17CoverageMonotone(t *testing.T) {
 	prev := 2.0
 	for _, frac := range []float64{0, 0.05, 0.1, 0.2, 0.3} {
 		res, _ := faultRound(8, 7, synth.FaultConfig{
-			Schedule: fault.Random(64, frac, crashWindow, 1008),
+			Schedule: fault.MustRandom(64, frac, crashWindow, 1008),
 		})
 		if res.Final == nil {
 			t.Fatalf("frac %v: stalled", frac)
@@ -58,7 +58,7 @@ func TestE18ARQNeverWorseDelivery(t *testing.T) {
 	for _, loss := range []float64{0, 0.05, 0.1, 0.2} {
 		run := func(rel fault.Reliability) int64 {
 			res, _ := faultRound(8, 7, synth.FaultConfig{
-				Schedule:    fault.Random(64, 0.1, crashWindow, 1008),
+				Schedule:    fault.MustRandom(64, 0.1, crashWindow, 1008),
 				Loss:        loss,
 				LossSeed:    41,
 				Reliability: rel,

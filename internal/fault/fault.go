@@ -26,6 +26,7 @@ package fault
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 
@@ -83,19 +84,30 @@ func At(crashes ...Crash) Schedule {
 // a prefix of a seed-derived permutation, so for a fixed seed the crash
 // set at fraction p is a subset of the crash set at any p' > p — sweeps
 // over the crash fraction degrade monotonically by construction.
-func Random(n int, fraction float64, window sim.Time, seed int64) Schedule {
+//
+// Inputs are validated, not clamped: a NaN, negative, or >1 fraction, a
+// negative n, or a window < 1 returns an error, because a sweep that
+// silently rounds a bad knob produces tables that look plausible and mean
+// nothing.
+func Random(n int, fraction float64, window sim.Time, seed int64) (Schedule, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("fault: negative node count %d", n)
+	}
+	if math.IsNaN(fraction) {
+		return nil, fmt.Errorf("fault: crash fraction is NaN")
+	}
 	if fraction < 0 || fraction > 1 {
-		panic(fmt.Sprintf("fault: crash fraction %v out of [0,1]", fraction))
+		return nil, fmt.Errorf("fault: crash fraction %v out of [0,1]", fraction)
 	}
 	if window < 1 {
-		panic(fmt.Sprintf("fault: crash window %d must be ≥ 1", window))
+		return nil, fmt.Errorf("fault: crash window %d must be ≥ 1", window)
 	}
 	kills := int(fraction*float64(n) + 0.999999)
 	if kills > n {
 		kills = n
 	}
 	if kills == 0 {
-		return nil
+		return nil, nil
 	}
 	rng := rand.New(rand.NewSource(seed))
 	perm := rng.Perm(n)
@@ -107,7 +119,17 @@ func Random(n int, fraction float64, window sim.Time, seed int64) Schedule {
 		trng := rand.New(rand.NewSource(int64(uint64(seed) ^ uint64(node+1)*0x9e3779b97f4a7c15)))
 		s = append(s, Crash{Node: node, At: 1 + sim.Time(trng.Int63n(int64(window)))})
 	}
-	return s.normalize()
+	return s.normalize(), nil
+}
+
+// MustRandom is Random for statically valid inputs (experiment sweeps,
+// tests); it panics on error.
+func MustRandom(n int, fraction float64, window sim.Time, seed int64) Schedule {
+	s, err := Random(n, fraction, window, seed)
+	if err != nil {
+		panic(err)
+	}
+	return s
 }
 
 // Region kills every grid cell inside the inclusive coordinate box
@@ -186,6 +208,19 @@ func (in *Injector) kill(node int, targets []Target) {
 	in.kernel.CancelOwner(node)
 }
 
+// Fail kills node immediately, outside any armed schedule: marks it dead,
+// silences it on every target, and cancels all events it owns. This is the
+// entry point for deaths the system itself produces — the battery layer
+// calls it synchronously inside the depleting charge, so the fail-stop is
+// ordered at exactly the simulated time of the operation that exhausted
+// the budget. Failing a dead node is a no-op.
+func (in *Injector) Fail(node int, targets ...Target) {
+	if node < 0 || node >= len(in.dead) {
+		panic(fmt.Sprintf("fault: fail for node %d outside [0,%d)", node, len(in.dead)))
+	}
+	in.kill(node, targets)
+}
+
 // Arm schedules every crash in s. Each crash fires as an unowned kernel
 // event (a node does not own its own death) that kills the node on every
 // target and cancels the node's owned events. Crashes are scheduled in
@@ -256,3 +291,120 @@ func (r Reliability) AckUnits() int64 {
 	}
 	return r.AckSize
 }
+
+// GilbertElliott parameterizes the classic two-state bursty-loss channel:
+// a Markov chain alternating between a Good state (low loss) and a Bad
+// state (high loss — a fade, a collision storm, an interferer). Unlike the
+// Bernoulli model, losses cluster: the mean burst length is 1/PBadGood
+// attempts, which is exactly the correlation stop-and-wait ARQ handles
+// worst (consecutive retransmissions land in the same fade).
+type GilbertElliott struct {
+	// PGoodBad is the per-attempt probability of falling Good -> Bad.
+	PGoodBad float64
+	// PBadGood is the per-attempt probability of recovering Bad -> Good.
+	PBadGood float64
+	// LossGood and LossBad are the per-attempt loss probabilities inside
+	// each state. LossGood is typically near 0 and LossBad near 1.
+	LossGood, LossBad float64
+}
+
+// Validate reports an error for probabilities outside [0,1] (or NaN), or a
+// chain that can enter the Bad state but never leave it.
+func (g GilbertElliott) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"PGoodBad", g.PGoodBad}, {"PBadGood", g.PBadGood},
+		{"LossGood", g.LossGood}, {"LossBad", g.LossBad},
+	} {
+		if math.IsNaN(p.v) || p.v < 0 || p.v > 1 {
+			return fmt.Errorf("fault: gilbert-elliott %s %v out of [0,1]", p.name, p.v)
+		}
+	}
+	if g.LossGood >= 1 {
+		return fmt.Errorf("fault: gilbert-elliott LossGood %v must be < 1", g.LossGood)
+	}
+	if g.PGoodBad > 0 && g.PBadGood == 0 && g.LossBad >= 1 {
+		return fmt.Errorf("fault: gilbert-elliott chain absorbs into a fully lossy Bad state")
+	}
+	return nil
+}
+
+// Enabled reports whether the channel ever loses anything.
+func (g GilbertElliott) Enabled() bool {
+	return g.LossGood > 0 || (g.PGoodBad > 0 && g.LossBad > 0)
+}
+
+// MeanLoss returns the stationary loss rate of the chain — the Bernoulli
+// rate a long-run average would measure, useful for like-for-like sweeps
+// against the independent-loss model.
+func (g GilbertElliott) MeanLoss() float64 {
+	if g.PGoodBad == 0 {
+		return g.LossGood
+	}
+	if g.PBadGood == 0 {
+		return g.LossBad
+	}
+	piBad := g.PGoodBad / (g.PGoodBad + g.PBadGood)
+	return (1-piBad)*g.LossGood + piBad*g.LossBad
+}
+
+// DefaultBurst is the burst channel the experiments sweep: rare fades
+// (1.5% entry), mean burst length 8 attempts, near-perfect Good state and
+// 90%-lossy Bad state. Stationary loss ≈ 10.8% — comparable to the middle
+// of the Bernoulli sweep, but clustered.
+func DefaultBurst() GilbertElliott {
+	return GilbertElliott{PGoodBad: 0.015, PBadGood: 0.125, LossGood: 0.01, LossBad: 0.9}
+}
+
+// BurstChannel is a running Gilbert–Elliott process: one seeded RNG, one
+// state bit, advanced once per transmission attempt. Deterministic under a
+// fixed seed; not safe for concurrent use (the DES engine is serial).
+type BurstChannel struct {
+	params GilbertElliott
+	rng    *rand.Rand
+	bad    bool
+	losses int64
+	draws  int64
+}
+
+// Process starts the chain in the Good state with a seeded RNG. It panics
+// on invalid parameters; validate first where the inputs are not literals.
+func (g GilbertElliott) Process(seed int64) *BurstChannel {
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	return &BurstChannel{params: g, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Lost draws one transmission attempt: the chain advances one step, then
+// the attempt is lost with the current state's loss probability. Two RNG
+// draws per attempt, always, so the stream stays aligned whatever path the
+// chain takes.
+func (c *BurstChannel) Lost() bool {
+	flip := c.rng.Float64()
+	if c.bad {
+		if flip < c.params.PBadGood {
+			c.bad = false
+		}
+	} else if flip < c.params.PGoodBad {
+		c.bad = true
+	}
+	p := c.params.LossGood
+	if c.bad {
+		p = c.params.LossBad
+	}
+	lost := c.rng.Float64() < p
+	c.draws++
+	if lost {
+		c.losses++
+	}
+	return lost
+}
+
+// Bad reports whether the chain is currently in the Bad state.
+func (c *BurstChannel) Bad() bool { return c.bad }
+
+// Stats returns attempts drawn and attempts lost so far.
+func (c *BurstChannel) Stats() (draws, losses int64) { return c.draws, c.losses }

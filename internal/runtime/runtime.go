@@ -55,6 +55,13 @@ type Config struct {
 	// detection dynamics themselves (ack timeouts) live in the DES engine
 	// where time is modeled.
 	Failover bool
+	// Budget is the per-node energy budget; a node whose cumulative charge
+	// crosses it fails stop mid-round (it stops sending, stops processing,
+	// and traffic to it is dropped). Zero means unlimited — the exact
+	// pre-battery behavior. Unlike the DES engine, depletion order here
+	// depends on the scheduler: the battery invariants are byte-exact on
+	// the DES engine and statistical on this one.
+	Budget cost.Energy
 }
 
 // Result is the outcome of one concurrent round.
@@ -73,6 +80,8 @@ type Result struct {
 	// summary covers — the "how much of the map survived" measure for lossy
 	// rounds. Equals N on success.
 	RootCoverage int
+	// Depleted counts nodes whose energy crossed the budget mid-round.
+	Depleted int
 }
 
 // Runtime executes labeling rounds on a hierarchy with goroutine-per-node
@@ -112,35 +121,65 @@ type run struct {
 	retries   int
 	crashed   []bool
 	failover  bool
+	budget    int64
+	down      []atomic.Bool // set when a node's charge crosses the budget
+	depleted  atomic.Int64
+}
+
+// dead reports whether a node is out of the round: statically crashed or
+// battery-depleted mid-round.
+func (r *run) dead(idx int) bool {
+	if r.crashed != nil && r.crashed[idx] {
+		return true
+	}
+	return r.budget > 0 && r.down[idx].Load()
 }
 
 // leaderOf resolves the (possibly acting) level-k leader for c.
 func (r *run) leaderOf(c geom.Coord, level int) geom.Coord {
 	leader := r.hier.LeaderAt(c, level)
 	g := r.hier.Grid
-	if !r.failover || r.crashed == nil || !r.crashed[g.Index(leader)] {
+	if !r.failover || !r.dead(g.Index(leader)) {
 		return leader
 	}
 	for _, m := range r.hier.Followers(leader, level) {
-		if !r.crashed[g.Index(m)] {
+		if !r.dead(g.Index(m)) {
 			return m
 		}
 	}
 	return leader
 }
 
+// charge adds units to a node's energy counter and trips its budget on the
+// crossing charge. Exactly one goroutine observes the crossing (the atomic
+// add is the arbiter), so the depleted count never double-counts. With no
+// budget this is the original bare atomic add.
+func (f *nodeFx) charge(idx int, units int64) {
+	if f.rt.budget > 0 && f.rt.down[idx].Load() {
+		return // dead radios charge nothing
+	}
+	newV := atomic.AddInt64(&f.energy[idx], units)
+	if f.rt.budget > 0 && newV > f.rt.budget && newV-units <= f.rt.budget {
+		f.rt.down[idx].Store(true)
+		f.rt.depleted.Add(1)
+	}
+}
+
 func (f *nodeFx) Send(level int, size int64, payload any) {
+	if f.rt.dead(f.grid.Index(f.coord)) {
+		return // a depleted sender is silent
+	}
 	dst := f.rt.leaderOf(f.coord, level)
 	route := routing.XYRoute(f.grid, f.coord, dst)
 	// chargeRoute mirrors the DES machine's hop-by-hop accounting, so loss-
 	// and retry-free runs produce identical ledgers across engines.
 	chargeRoute := func(units int64) {
 		for i := 1; i < len(route); i++ {
-			atomic.AddInt64(&f.energy[f.grid.Index(route[i-1])], units) // tx
-			atomic.AddInt64(&f.energy[f.grid.Index(route[i])], units)   // rx
+			f.charge(f.grid.Index(route[i-1]), units) // tx
+			f.charge(f.grid.Index(route[i]), units)   // rx
 		}
 	}
-	dstDead := f.rt.crashed != nil && f.rt.crashed[f.grid.Index(dst)]
+	dstDead := f.rt.dead(f.grid.Index(dst))
 	delivered := false
 	for attempt := 0; attempt <= f.rt.retries; attempt++ {
 		chargeRoute(size)
@@ -179,11 +218,11 @@ func (f *nodeFx) Exfiltrate(result any) {
 }
 
 func (f *nodeFx) Compute(units int64) {
-	atomic.AddInt64(&f.energy[f.grid.Index(f.coord)], units)
+	f.charge(f.grid.Index(f.coord), units)
 }
 
 func (f *nodeFx) Sense(units int64) {
-	atomic.AddInt64(&f.energy[f.grid.Index(f.coord)], units)
+	f.charge(f.grid.Index(f.coord), units)
 }
 
 // maxQuiescenceSteps mirrors the machine driver's bound.
@@ -201,6 +240,8 @@ type GenericResult struct {
 	Stalled            bool
 	Delivered, Dropped int64
 	RuleFirings        int64
+	// Depleted counts nodes whose energy crossed the budget mid-round.
+	Depleted int
 	// Envs exposes each node's final environment (indexed by grid index)
 	// for post-run inspection; safe to read after Run returns.
 	Envs []*program.Env
@@ -228,6 +269,7 @@ func (rt *Runtime) Run(m *field.BinaryMap, ledger *cost.Ledger, cfg Config) (*Re
 		Delivered:   gr.Delivered,
 		Dropped:     gr.Dropped,
 		RuleFirings: gr.RuleFirings,
+		Depleted:    gr.Depleted,
 	}
 	if len(gr.Exfiltrated) > 0 {
 		res.Final = gr.Exfiltrated[0].(*regions.Summary)
@@ -255,6 +297,9 @@ func (rt *Runtime) RunProgram(factory Factory, ledger *cost.Ledger, cfg Config) 
 	if cfg.Retries < 0 {
 		return nil, fmt.Errorf("runtime: negative retries %d", cfg.Retries)
 	}
+	if cfg.Budget < 0 {
+		return nil, fmt.Errorf("runtime: negative budget %d", cfg.Budget)
+	}
 	n := g.N()
 	if cfg.Crashed != nil && len(cfg.Crashed) != n {
 		return nil, fmt.Errorf("runtime: Crashed tracks %d nodes, grid has %d", len(cfg.Crashed), n)
@@ -267,6 +312,10 @@ func (rt *Runtime) RunProgram(factory Factory, ledger *cost.Ledger, cfg Config) 
 		retries:  cfg.Retries,
 		crashed:  cfg.Crashed,
 		failover: cfg.Failover,
+		budget:   int64(cfg.Budget),
+	}
+	if r.budget > 0 {
+		r.down = make([]atomic.Bool, n)
 	}
 	// Inbox capacity: a node receives at most 3 messages per level it
 	// leads, so levels*3+4 can never block a sender for long; capacity
@@ -305,20 +354,24 @@ func (rt *Runtime) RunProgram(factory Factory, ledger *cost.Ledger, cfg Config) 
 			continue
 		}
 		wg.Add(1)
-		go func(inst *program.Instance, inbox chan envelope) {
+		go func(inst *program.Instance, inbox chan envelope, idx int) {
 			defer wg.Done()
 			inst.RunToQuiescence(maxQuiescenceSteps)
 			r.pending.Add(-1)
 			for {
 				select {
 				case env := <-inbox:
-					inst.OnMessage(env.payload, maxQuiescenceSteps)
+					// A node that depleted after the message was enqueued
+					// drops it: the radio is off, the program is gone.
+					if !r.dead(idx) {
+						inst.OnMessage(env.payload, maxQuiescenceSteps)
+					}
 					r.pending.Add(-1)
 				case <-r.stop:
 					return
 				}
 			}
-		}(insts[idx], r.inboxes[idx])
+		}(insts[idx], r.inboxes[idx], idx)
 	}
 
 	// Supervise: stop at global quiescence (no node processing, no message
@@ -349,6 +402,7 @@ func (rt *Runtime) RunProgram(factory Factory, ledger *cost.Ledger, cfg Config) 
 		Stalled:     len(r.results) == 0,
 		Delivered:   r.delivered.Load(),
 		Dropped:     r.dropped.Load(),
+		Depleted:    int(r.depleted.Load()),
 		Envs:        make([]*program.Env, len(insts)),
 	}
 	for i, inst := range insts {

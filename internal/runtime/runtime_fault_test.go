@@ -83,3 +83,45 @@ func TestFailoverConcentratesCoverageAtActingRoot(t *testing.T) {
 		t.Errorf("acting root coverage %d, want exactly %d", res.RootCoverage, want)
 	}
 }
+
+func TestBudgetDepletesOnConcurrentEngine(t *testing.T) {
+	// The goroutine engine's battery path: an unlimited budget (zero) is the
+	// exact pre-battery behavior, a generous budget changes nothing, and a
+	// starvation budget depletes nodes. Depletion order is scheduler-
+	// dependent here (the byte-exact laws live on the DES engine), so this
+	// asserts outcomes, not trajectories.
+	m := blobMap(8, 5)
+	h := varch.MustHierarchy(m.Grid)
+	base, err := New(h).Run(m, nil, Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rich, err := New(h).Run(m, nil, Config{Seed: 2, Budget: 1 << 40, Failover: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rich.Depleted != 0 {
+		t.Fatalf("depleted %d nodes under an effectively infinite budget", rich.Depleted)
+	}
+	if rich.Final == nil || rich.Final.Count() != base.Final.Count() {
+		t.Fatal("generous budget changed the labeling result")
+	}
+	poor, err := New(h).Run(m, nil, Config{Seed: 2, Budget: 3, Failover: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if poor.Depleted == 0 {
+		t.Fatal("no node depleted under a starvation budget")
+	}
+	if poor.Final != nil && poor.RootCoverage == m.Grid.N() && poor.Depleted > m.Grid.N()/2 {
+		t.Error("full coverage despite majority depletion is implausible")
+	}
+}
+
+func TestBudgetValidation(t *testing.T) {
+	m := blobMap(4, 5)
+	h := varch.MustHierarchy(m.Grid)
+	if _, err := New(h).Run(m, nil, Config{Budget: -1}); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+}

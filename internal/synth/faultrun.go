@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"wsnva/internal/battery"
 	"wsnva/internal/fault"
 	"wsnva/internal/field"
 	"wsnva/internal/geom"
@@ -40,8 +41,16 @@ type FaultConfig struct {
 	// rand source seeded with LossSeed. Zero disables loss.
 	Loss     float64
 	LossSeed int64
+	// Burst, if non-nil, replaces Bernoulli loss with a Gilbert–Elliott
+	// burst channel seeded with BurstSeed (Loss/LossSeed are then ignored).
+	Burst     *fault.GilbertElliott
+	BurstSeed int64
 	// Reliability arms the ARQ policy on the machine (zero value: off).
 	Reliability fault.Reliability
+	// Battery, if non-nil, meters every ledger charge and fail-stops nodes
+	// whose cumulative spend crosses their budget — depletion deaths on top
+	// of (or instead of) the scheduled crashes.
+	Battery *battery.Bank
 	// LevelDeadline is the per-level watchdog period: the acting level-k
 	// leader force-promotes at k·LevelDeadline. It must comfortably exceed
 	// the natural per-level latency, or the watchdogs will truncate healthy
@@ -74,7 +83,12 @@ type FaultResult struct {
 	// static leader dead and acted through a promoted follower.
 	ForcedPromotions int64
 	LeaderFailovers  int64
-	Stats            varch.FaultStats
+	// Depleted counts battery deaths and FirstDepletion their earliest
+	// simulated time (0 if none) — distinct from Crashed, which counts only
+	// the externally scheduled fail-stops.
+	Depleted       int
+	FirstDepletion sim.Time
+	Stats          varch.FaultStats
 }
 
 // faultFx adapts the machine to program.Effector under faults: unlike the
@@ -112,7 +126,12 @@ func RunWithFaults(vm *varch.Machine, m *field.BinaryMap, cfg FaultConfig) (*Fau
 	if m.Grid != g {
 		return nil, fmt.Errorf("synth: map grid and machine grid differ")
 	}
-	if cfg.Loss > 0 {
+	if cfg.Burst != nil {
+		if err := cfg.Burst.Validate(); err != nil {
+			return nil, err
+		}
+		vm.SetBurstLoss(cfg.Burst.Process(cfg.BurstSeed))
+	} else if cfg.Loss > 0 {
 		vm.SetLoss(cfg.Loss, rand.New(rand.NewSource(cfg.LossSeed)))
 	}
 	vm.SetReliability(cfg.Reliability)
@@ -133,6 +152,19 @@ func RunWithFaults(vm *varch.Machine, m *field.BinaryMap, cfg FaultConfig) (*Fau
 
 	injector := fault.NewInjector(vm.Kernel(), g.N())
 	injector.Arm(cfg.Schedule, vm)
+	if cfg.Battery != nil {
+		bank := cfg.Battery
+		vm.AttachBattery(bank, injector)
+		// Replace the default depletion route with one that also records the
+		// result counters; the fail-stop itself is unchanged.
+		bank.OnDeplete(func(node int) {
+			res.Depleted++
+			if res.Depleted == 1 {
+				res.FirstDepletion = vm.Kernel().Now()
+			}
+			injector.Fail(node, vm)
+		})
+	}
 
 	if cfg.LevelDeadline > 0 {
 		for k := 1; k <= h.Levels; k++ {

@@ -135,7 +135,7 @@ func TestRunWithFaultsDeterministic(t *testing.T) {
 		m := blobMap(8, 31)
 		vm := faultMachine(m)
 		res, err := RunWithFaults(vm, m, FaultConfig{
-			Schedule:      fault.Random(vm.Grid().N(), 0.15, 50, 99),
+			Schedule:      fault.MustRandom(vm.Grid().N(), 0.15, 50, 99),
 			Loss:          0.1,
 			LossSeed:      7,
 			Reliability:   fault.DefaultReliability(),
@@ -167,7 +167,7 @@ func TestRunWithFaultsCoverageMonotoneInCrashFraction(t *testing.T) {
 		m := blobMap(8, 11)
 		vm := faultMachine(m)
 		res, err := RunWithFaults(vm, m, FaultConfig{
-			Schedule:      fault.Random(vm.Grid().N(), frac, 40, seed),
+			Schedule:      fault.MustRandom(vm.Grid().N(), frac, 40, seed),
 			LevelDeadline: DefaultLevelDeadline(vm),
 		})
 		if err != nil {
@@ -215,7 +215,7 @@ func TestNoEventFiresAtDeadNode(t *testing.T) {
 		m := blobMap(8, seedFrac.seed)
 		vm := faultMachine(m)
 		g := vm.Grid()
-		sched := fault.Random(g.N(), seedFrac.frac, 60, seedFrac.seed)
+		sched := fault.MustRandom(g.N(), seedFrac.frac, 60, seedFrac.seed)
 		deadAt := make(map[int]sim.Time, len(sched))
 		for _, c := range sched {
 			deadAt[c.Node] = c.At
@@ -250,7 +250,7 @@ func TestHandlersNeverFireAtDeadNodes(t *testing.T) {
 		vm, _ := newMachine(8)
 		g := vm.Grid()
 		k := vm.Kernel()
-		sched := fault.Random(g.N(), 0.3, 30, seed)
+		sched := fault.MustRandom(g.N(), 0.3, 30, seed)
 		dead := make(map[int]sim.Time)
 		for _, c := range sched {
 			dead[c.Node] = c.At

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"wsnva/internal/battery"
 	"wsnva/internal/fault"
 	"wsnva/internal/geom"
 	"wsnva/internal/routing"
@@ -41,6 +42,41 @@ func (vm *Machine) SetLoss(p float64, rng *rand.Rand) {
 	}
 	vm.loss = p
 	vm.lossRNG = rng
+}
+
+// SetBurstLoss replaces the Bernoulli loss model with a running
+// Gilbert–Elliott burst channel: every point-to-point transmission attempt
+// advances the chain one step and is lost with the current state's
+// probability, so losses cluster into fades instead of arriving
+// independently. nil disables. Burst and Bernoulli loss are exclusive —
+// arming one disarms the other.
+func (vm *Machine) SetBurstLoss(c *fault.BurstChannel) {
+	vm.burst = c
+	if c != nil {
+		vm.loss = 0
+		vm.lossRNG = nil
+	}
+}
+
+// AttachBattery closes the energy loop: the bank meters every ledger
+// charge, and the charge that crosses a node's budget fail-stops that node
+// at the depleting operation's simulated time — through the injector (so
+// liveness bookkeeping and any co-registered targets stay coherent), or
+// directly against the machine when in is nil. Either way the node's owned
+// events (retry timers, deliveries addressed to it) are cancelled.
+func (vm *Machine) AttachBattery(b *battery.Bank, in *fault.Injector) {
+	if b.N() != vm.Hier.Grid.N() {
+		panic(fmt.Sprintf("varch: battery bank tracks %d nodes, grid has %d", b.N(), vm.Hier.Grid.N()))
+	}
+	vm.ledger.SetMeter(b)
+	b.OnDeplete(func(node int) {
+		if in != nil {
+			in.Fail(node, vm)
+			return
+		}
+		vm.Kill(node)
+		vm.kernel.CancelOwner(node)
+	})
 }
 
 // SetReliability arms the ARQ policy for Send, SendToLeader, and the
@@ -129,18 +165,30 @@ func (vm *Machine) launch(f *flight) {
 	hops := f.from.Manhattan(f.to)
 	vm.hops += int64(hops)
 	base := vm.delay(sim.Time(hops) * sim.Time(vm.ledger.Model().TxLatency(f.size)))
-	if vm.loss > 0 && vm.lossRNG.Float64() < vm.loss {
+	if vm.lossDraw() {
 		vm.fstats.Lost++
 		f.delivery = sim.Handle{}
 	} else {
 		f.delivery = vm.kernel.AfterOwned(g.Index(f.to), base, func() { vm.arrive(f) })
 	}
-	if vm.reliable.Enabled() && f.attempt < vm.reliable.MaxRetries {
+	// The sender may have depleted mid-transfer (its own Tx charge crossed
+	// the budget): its owned events were already cancelled, so scheduling a
+	// retry now would escape the fail-stop. A dead sender gets no timer.
+	if vm.reliable.Enabled() && f.attempt < vm.reliable.MaxRetries && vm.aliveIdx(g.Index(f.from)) {
 		wait := vm.reliable.Backoff(f.attempt + 1)
 		f.retry = vm.kernel.AfterOwned(g.Index(f.from), wait, func() { vm.retransmit(f) })
 	} else {
 		f.retry = sim.Handle{}
 	}
+}
+
+// lossDraw decides whether one transmission attempt is lost, under
+// whichever loss model is armed.
+func (vm *Machine) lossDraw() bool {
+	if vm.burst != nil {
+		return vm.burst.Lost()
+	}
+	return vm.loss > 0 && vm.lossRNG.Float64() < vm.loss
 }
 
 // retransmit fires when the retry timer outlives the acknowledgment: the
@@ -150,6 +198,9 @@ func (vm *Machine) launch(f *flight) {
 // window IS the failure detector, so a dead leader's traffic re-routes to
 // its promoted successor instead of being retried into a void.
 func (vm *Machine) retransmit(f *flight) {
+	if !vm.aliveIdx(vm.Hier.Grid.Index(f.from)) {
+		return // the sender died; its retries die with it
+	}
 	vm.kernel.Cancel(f.delivery)
 	f.attempt++
 	vm.fstats.Retransmissions++

@@ -49,6 +49,7 @@ type Machine struct {
 	alive    []bool
 	loss     float64
 	lossRNG  *rand.Rand
+	burst    *fault.BurstChannel
 	reliable fault.Reliability
 	failover bool
 	fstats   FaultStats
@@ -145,7 +146,7 @@ func (vm *Machine) sendMsg(from, to geom.Coord, level int, size int64, payload a
 		vm.kernel.AfterOwned(g.Index(to), vm.delay(0), func() { vm.deliver(to, msg) })
 		return
 	}
-	if vm.loss == 0 && !vm.reliable.Enabled() {
+	if vm.loss == 0 && vm.burst == nil && !vm.reliable.Enabled() {
 		// Fast path: identical charges and timing to the fault-free machine.
 		routing.WalkXY(g, from, to, func(a, b geom.Coord) {
 			vm.ledger.ChargeTransfer(g.Index(a), g.Index(b), size)

@@ -87,7 +87,7 @@ func TestQuickDeathIsFinal(t *testing.T) {
 		vm := NewMachine(MustHierarchy(g), sim.New(), cost.NewLedger(cost.NewUniform(), g.N()))
 		k := vm.Kernel()
 		frac := float64(fracByte%100) / 100
-		sched := fault.Random(g.N(), frac, 50, seed)
+		sched := fault.MustRandom(g.N(), frac, 50, seed)
 		deadAt := make(map[int]sim.Time, len(sched))
 		for _, c := range sched {
 			deadAt[c.Node] = c.At
