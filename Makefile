@@ -2,14 +2,15 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-short race bench bench-json soak tables csv report fuzz examples clean
+.PHONY: all check build vet test test-short race bench bench-json soak cover tables csv report fuzz examples clean
 
 all: build vet test
 
 # The full pre-merge gate: vet, build, the test suite under the race
 # detector, one quick benchmark iteration to catch allocation or
-# wall-time blowups, and a battery-depletion soak before they land.
-check: vet build race bench soak
+# wall-time blowups, a battery-depletion soak, and the observability
+# coverage floor before they land.
+check: vet build race bench soak cover
 
 build:
 	$(GO) build ./...
@@ -39,6 +40,19 @@ bench:
 soak:
 	SOAK_SEEDS=40 $(GO) test -run TestDepletionSoak -count=1 ./internal/experiments/
 
+# Coverage floor for the observability layer: the trace/metrics/check
+# packages are the repo's verification substrate, so their own statement
+# coverage is gated at 75%.
+COVER_PKGS = ./internal/trace/ ./internal/trace/check/ ./internal/metrics/
+COVER_FLOOR = 75.0
+
+cover:
+	@$(GO) test -cover $(COVER_PKGS) | awk -v floor=$(COVER_FLOOR) '\
+	{ print } \
+	/coverage:/ { pct = $$0; sub(/.*coverage: /, "", pct); sub(/%.*/, "", pct); \
+	  if (pct + 0 < floor) { print "FAIL: coverage below " floor "% floor"; bad = 1 } } \
+	END { exit bad }'
+
 # Refresh the committed per-experiment wall-time/alloc baseline.
 bench-json:
 	$(GO) run ./cmd/benchtab -parallel 1 -bench-json BENCH_0.json > /dev/null
@@ -59,6 +73,8 @@ fuzz:
 	$(GO) test -fuzz FuzzDecodeSummary -fuzztime 30s ./internal/wire/
 	$(GO) test -fuzz FuzzDecodeGraphMsg -fuzztime 30s ./internal/wire/
 	$(GO) test -fuzz FuzzMediumConservation -fuzztime 30s ./internal/radio/
+	$(GO) test -fuzz FuzzDecode -fuzztime 30s ./internal/trace/
+	$(GO) test -fuzz FuzzRun -fuzztime 30s ./internal/trace/check/
 
 examples:
 	$(GO) run ./examples/quickstart

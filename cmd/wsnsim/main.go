@@ -9,7 +9,7 @@
 //
 //	wsnsim [-side 8] [-density 6] [-seed 1] [-field blobs|gradient|stripes]
 //	       [-thresh 0.5] [-engine des|lockstep|goroutine|physical] [-loss 0] [-retries 0]
-//	       [-trace 0]
+//	       [-trace 0] [-trace-out trace.jsonl] [-metrics]
 package main
 
 import (
@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 
 	"wsnva/internal/binding"
 	"wsnva/internal/cost"
@@ -25,6 +26,7 @@ import (
 	"wsnva/internal/field"
 	"wsnva/internal/geom"
 	"wsnva/internal/lockstep"
+	"wsnva/internal/metrics"
 	"wsnva/internal/radio"
 	"wsnva/internal/regions"
 	"wsnva/internal/runtime"
@@ -45,6 +47,8 @@ func main() {
 	loss := flag.Float64("loss", 0, "message loss probability (goroutine engine only)")
 	retries := flag.Int("retries", 0, "stop-and-wait retransmissions per message (goroutine engine only)")
 	traceN := flag.Int("trace", 0, "print the last N virtual-machine events (DES engine only)")
+	traceOut := flag.String("trace-out", "", "export the run's structured trace as JSONL to this file (des and physical engines)")
+	showMetrics := flag.Bool("metrics", false, "print the per-node metrics snapshot after the run (DES engine only)")
 	flag.Parse()
 	if !geom.IsPow2(*side) {
 		log.Fatalf("wsnsim: -side must be a power of two, got %d", *side)
@@ -91,11 +95,29 @@ func main() {
 	switch *engine {
 	case "des":
 		ledger := cost.NewLedger(cost.NewUniform(), grid.N())
-		vm := varch.NewMachine(h, sim.New(), ledger)
+		k := sim.New()
+		vm := varch.NewMachine(h, k, ledger)
 		var tr *trace.Tracer
 		if *traceN > 0 {
 			tr = trace.New(*traceN)
 			vm.SetTracer(tr)
+		}
+		// A JSONL export gets its own complete tracer with the whole stack
+		// attached — machine, ledger, and kernel — independent of the small
+		// timeline ring -trace prints.
+		var exp *trace.Tracer
+		if *traceOut != "" {
+			exp = trace.New(1 << 20)
+			if tr == nil {
+				vm.SetTracer(exp)
+			}
+			ledger.SetTracer(exp, k.Now)
+			k.SetProbe(trace.KernelProbe(exp))
+		}
+		var reg *metrics.Registry
+		if *showMetrics {
+			reg = metrics.NewRegistry()
+			vm.SetMetrics(reg)
 		}
 		res, err := synth.RunOnMachine(vm, m)
 		if err != nil {
@@ -108,6 +130,12 @@ func main() {
 		if tr != nil {
 			fmt.Printf("\nlast %d virtual-machine events (%d sends, %d deliveries total):\n%s",
 				*traceN, tr.Count(trace.Send), tr.Count(trace.Deliver), tr.Timeline())
+		}
+		if exp != nil {
+			exportTrace(*traceOut, exp)
+		}
+		if reg != nil {
+			fmt.Printf("\nmetrics snapshot:\n%s", reg.Snapshot())
 		}
 	case "lockstep":
 		ledger := cost.NewLedger(cost.NewUniform(), grid.N())
@@ -127,6 +155,16 @@ func main() {
 		if err != nil {
 			log.Fatalf("wsnsim: %v", err)
 		}
+		var exp *trace.Tracer
+		if *traceOut != "" {
+			// Attached after setup, so the trace covers the application run:
+			// both planes (virtual sends on the machine, physical tx/rx on the
+			// medium) plus every ledger charge.
+			exp = trace.New(1 << 20)
+			bndMachine.SetTracer(exp)
+			med.SetTracer(exp)
+			physLedger.SetTracer(exp, med.Kernel().Now)
+		}
 		before := physLedger.Metrics().Total
 		res, err := bndMachine.RunLabeling(m)
 		if err != nil {
@@ -137,6 +175,9 @@ func main() {
 			res.Completion, res.PhysHops, res.RuleFirings)
 		fmt.Printf("application energy on the real network: %d units\n",
 			physLedger.Metrics().Total-before)
+		if exp != nil {
+			exportTrace(*traceOut, exp)
+		}
 	case "goroutine":
 		ledger := cost.NewLedger(cost.NewUniform(), grid.N())
 		res, err := runtime.New(h).Run(m, ledger, runtime.Config{Loss: *loss, Retries: *retries, Seed: *seed})
@@ -162,6 +203,20 @@ func main() {
 		fmt.Printf("  region %3d: %3d cells, bbox cols %d-%d rows %d-%d\n",
 			r.Label, r.Cells, r.Box.MinCol, r.Box.MaxCol, r.Box.MinRow, r.Box.MaxRow)
 	}
+}
+
+// exportTrace writes the tracer's events as JSONL and reports the export.
+func exportTrace(path string, tr *trace.Tracer) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatalf("wsnsim: %v", err)
+	}
+	defer f.Close()
+	if err := tr.WriteJSONL(f); err != nil {
+		log.Fatalf("wsnsim: %v", err)
+	}
+	fmt.Printf("\ntrace: %d events exported to %s (%d lost to the ring)\n",
+		len(tr.Events()), path, tr.Lost())
 }
 
 func makeField(name string, grid *geom.Grid, seed int64) field.Field {

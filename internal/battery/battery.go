@@ -32,8 +32,11 @@ package battery
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 
 	"wsnva/internal/cost"
+	"wsnva/internal/sim"
+	"wsnva/internal/trace"
 )
 
 // Unlimited is an effectively infinite capacity: no realistic simulation
@@ -54,6 +57,19 @@ type Bank struct {
 	// (or directly to a Kill target plus CancelOwner) and must not charge
 	// the ledger the bank is metering.
 	onDeplete func(node int)
+	tracer    *trace.Tracer
+	clock     func() sim.Time
+}
+
+// SetTracer attaches an observability tracer (nil detaches): each
+// depletion emits a trace.Deplete event carrying the node's total drain in
+// Bytes, stamped with clock's time (nil clock stamps 0). The event is
+// emitted before OnDeplete fires, so in a trace the order at the death
+// instant reads Deplete, then the fault layer's Death, then the dying
+// gasp's Charge.
+func (b *Bank) SetTracer(t *trace.Tracer, clock func() sim.Time) {
+	b.tracer = t
+	b.clock = clock
 }
 
 // Uniform returns a bank giving every one of n nodes the same capacity.
@@ -128,6 +144,16 @@ func (b *Bank) Absorb(node int, _ cost.Op, e cost.Energy) bool {
 	if b.drained[node] > b.capacity[node] {
 		b.dead[node] = true
 		b.deaths++
+		if b.tracer != nil {
+			var at sim.Time
+			if b.clock != nil {
+				at = b.clock()
+			}
+			b.tracer.EmitEvent(trace.Event{At: at, Kind: trace.Deplete,
+				Node: "#" + strconv.Itoa(node), ID: node,
+				Col: -1, Row: -1, PeerCol: -1, PeerRow: -1,
+				Bytes: int64(b.drained[node]), Detail: "battery exhausted"})
+		}
 		if b.onDeplete != nil {
 			b.onDeplete(node)
 		}

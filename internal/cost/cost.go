@@ -14,6 +14,10 @@ package cost
 import (
 	"fmt"
 	"sort"
+	"strconv"
+
+	"wsnva/internal/sim"
+	"wsnva/internal/trace"
 )
 
 // Energy is an amount of energy in model units.
@@ -134,6 +138,8 @@ type Ledger struct {
 	energy []Energy
 	ops    []int64 // per-op unit counts, for diagnostics
 	meter  Meter   // nil: the unhooked fast path
+	tracer *trace.Tracer
+	clock  func() sim.Time // stamps Charge events; nil stamps 0
 }
 
 // Meter observes every charge before it lands — the attachment point for
@@ -167,6 +173,16 @@ func (l *Ledger) SetMeter(m Meter) { l.meter = m }
 // Meter returns the attached meter, or nil.
 func (l *Ledger) Meter() Meter { return l.meter }
 
+// SetTracer attaches an observability tracer (nil detaches): every granted
+// non-zero charge emits a trace.Charge event whose Bytes field carries the
+// energy. clock supplies the simulated timestamp — pass the kernel's Now;
+// nil stamps 0 (the concurrent runtime has no global clock). Like the
+// meter, a detached tracer costs one pointer compare per charge.
+func (l *Ledger) SetTracer(t *trace.Tracer, clock func() sim.Time) {
+	l.tracer = t
+	l.clock = clock
+}
+
 // N returns the number of nodes tracked.
 func (l *Ledger) N() int { return len(l.energy) }
 
@@ -181,6 +197,16 @@ func (l *Ledger) Charge(node int, op Op, units int64) Energy {
 	}
 	l.energy[node] += e
 	l.ops[op] += units
+	if l.tracer != nil && e != 0 {
+		var at sim.Time
+		if l.clock != nil {
+			at = l.clock()
+		}
+		l.tracer.EmitEvent(trace.Event{At: at, Kind: trace.Charge,
+			Node: "#" + strconv.Itoa(node), ID: node,
+			Col: -1, Row: -1, PeerCol: -1, PeerRow: -1,
+			Bytes: int64(e), Detail: op.String()})
+	}
 	return e
 }
 

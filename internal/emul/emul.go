@@ -23,6 +23,7 @@ import (
 	"wsnva/internal/routing"
 	"wsnva/internal/sim"
 	"wsnva/internal/synth"
+	"wsnva/internal/trace"
 	"wsnva/internal/varch"
 	"wsnva/internal/vtopo"
 )
@@ -46,6 +47,40 @@ type Machine struct {
 	// Fault layer (see faults.go).
 	failovers int64
 	unrouted  int64
+
+	tracer *trace.Tracer
+}
+
+// SetTracer attaches an observability tracer (nil detaches). The machine
+// emits virtual-plane events; attach the same tracer to the medium (and
+// ledger) to interleave the physical-plane story.
+func (m *Machine) SetTracer(t *trace.Tracer) { m.tracer = t }
+
+// Tracer returns the attached tracer, or nil.
+func (m *Machine) Tracer() *trace.Tracer { return m.tracer }
+
+// vevt builds a virtual-plane event: coordinates name the virtual node and
+// ID stays -1, so virtual identities never collide with the physical node
+// ids the radio and ledger events on the same trace use. Callers guard
+// with m.tracer != nil.
+func (m *Machine) vevt(kind trace.Kind, c, peer geom.Coord, bytes int64, detail string) trace.Event {
+	e := trace.Event{At: m.med.Kernel().Now(), Kind: kind, Node: c.String(),
+		ID: -1, Col: c.Col, Row: c.Row, PeerCol: peer.Col, PeerRow: peer.Row,
+		Bytes: bytes, Detail: detail}
+	if peer.Col >= 0 && peer.Row >= 0 {
+		e.Peer = peer.String()
+	}
+	return e
+}
+
+// vphase marks a run boundary on the trace; virtual-plane phases carry no
+// node identity at all.
+func (m *Machine) vphase(detail string) {
+	if m.tracer == nil {
+		return
+	}
+	m.tracer.EmitEvent(trace.Event{At: m.med.Kernel().Now(), Kind: trace.Phase,
+		ID: -1, Col: -1, Row: -1, PeerCol: -1, PeerRow: -1, Detail: detail})
 }
 
 // appMsg is the on-air payload for application traffic: the virtual
@@ -128,6 +163,9 @@ func (m *Machine) Send(from, to geom.Coord, size int64, payload any) {
 		panic(fmt.Sprintf("emul: no leader bound for %v", from))
 	}
 	m.msgs++
+	if m.tracer != nil {
+		m.tracer.EmitEvent(m.vevt(trace.Send, from, to, size, ""))
+	}
 	env := appMsg{to: to, msg: varch.Message{From: from, Size: size, Payload: payload}}
 	if from == to {
 		// Self-delivery, like the virtual machine: free and immediate.
@@ -153,6 +191,9 @@ func (m *Machine) forward(id int, env appMsg) {
 		if !ok {
 			// Failures cut this relay off from its cell's leader.
 			m.unrouted++
+			if m.tracer != nil {
+				m.tracer.EmitEvent(m.vevt(trace.Drop, env.to, env.msg.From, env.msg.Size, "unrouted: no path to leader"))
+			}
 			return
 		}
 		next = hop
@@ -167,6 +208,9 @@ func (m *Machine) forward(id int, env appMsg) {
 			// No alive route in that direction (ForwardPath refuses chains
 			// through dead nodes). Complete fault-free tables never err here.
 			m.unrouted++
+			if m.tracer != nil {
+				m.tracer.EmitEvent(m.vevt(trace.Drop, env.to, env.msg.From, env.msg.Size, "unrouted: no forward path"))
+			}
 			return
 		}
 		next = hop[0]
@@ -190,7 +234,13 @@ func (m *Machine) onPacket(id int, pkt radio.Packet) {
 func (m *Machine) dispatch(id int, env appMsg) {
 	if !m.med.Alive(id) || m.bnd.Leaders[env.to] != id {
 		m.unrouted++
+		if m.tracer != nil {
+			m.tracer.EmitEvent(m.vevt(trace.Drop, env.to, env.msg.From, env.msg.Size, "unrouted: dead or deposed leader"))
+		}
 		return
+	}
+	if m.tracer != nil {
+		m.tracer.EmitEvent(m.vevt(trace.Deliver, env.to, env.msg.From, env.msg.Size, ""))
 	}
 	if h := m.handlers[env.to]; h != nil {
 		h(env.msg)
@@ -272,17 +322,27 @@ func (m *Machine) RunProgram(factory func(c geom.Coord) *program.Spec) (*Result,
 	res := &Result{}
 	insts := make([]*program.Instance, 0, m.hier.Grid.N())
 	for _, c := range m.hier.Grid.Coords() {
+		c := c
 		fx := &emulFx{m: m, coord: c, out: res}
 		inst := program.NewInstance(factory(c), fx)
+		if m.tracer != nil {
+			inst.SetFireHook(func(rule string) {
+				m.tracer.EmitEvent(trace.Event{At: m.Kernel().Now(), Kind: trace.RuleFire,
+					Node: c.String(), ID: -1, Col: c.Col, Row: c.Row,
+					PeerCol: -1, PeerRow: -1, Detail: rule})
+			})
+		}
 		insts = append(insts, inst)
 		m.Handle(c, func(msg varch.Message) {
 			inst.OnMessage(msg.Payload, maxQuiescenceSteps)
 		})
 	}
+	m.vphase("emul-round:start")
 	for _, inst := range insts {
 		inst.RunToQuiescence(maxQuiescenceSteps)
 	}
 	m.Kernel().Run()
+	m.vphase("emul-round:end")
 	envs := make([]*program.Env, len(insts))
 	for i, inst := range insts {
 		res.RuleFirings += inst.Fired()

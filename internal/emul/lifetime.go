@@ -130,6 +130,7 @@ func (m *Machine) RunLifetime(cfg LifetimeConfig) (*LifetimeOutcome, error) {
 		every = 1
 	}
 	for round := 1; round <= cfg.MaxRounds; round++ {
+		m.vphase(fmt.Sprintf("lifetime-round:%d", round))
 		if cfg.LeaderDuty > 0 {
 			// Grid order, and re-reading the binding per cell: a duty charge
 			// can deplete the executor, whose Kill promotes a successor in

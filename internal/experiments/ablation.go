@@ -78,7 +78,7 @@ func A2FieldShapes(o Options) *stats.Table {
 		"field", "feature cells", "regions", "dc energy", "dc latency", "root summary units")
 	sweep(o, tab, len(workloads), func(i int) rows {
 		w := workloads[i]
-		res, l := runDES(w.m)
+		res, l := runDES(w.m, o.Trace)
 		return rows{{w.name, w.m.Count(), res.Final.Count(),
 			int64(l.Metrics().Total), int64(res.Completion), res.Final.Size()}}
 	})

@@ -17,6 +17,7 @@ import (
 	"wsnva/internal/sim"
 	"wsnva/internal/stats"
 	"wsnva/internal/synth"
+	"wsnva/internal/trace"
 	"wsnva/internal/varch"
 	"wsnva/internal/vtopo"
 )
@@ -51,8 +52,11 @@ const (
 
 // lifetimeMission builds the standard physical stack (4×4 grid, 5 nodes
 // per cell, fixed seeds — setup traffic does not count against budgets)
-// and runs one depletion mission on it.
-func lifetimeMission(budget cost.Energy, rotate bool) (*emul.LifetimeOutcome, *cost.Ledger) {
+// and runs one depletion mission on it. tr, when non-nil, observes the
+// medium, the ledger, the bank, and the virtual plane — but only from the
+// mission onward (the tracer is attached after setup, matching the
+// budgets' sunk-cost convention).
+func lifetimeMission(budget cost.Energy, rotate bool, tr *trace.Tracer) (*emul.LifetimeOutcome, *cost.Ledger) {
 	const side, perCell = 4, 5
 	g := geom.NewSquareGrid(side, float64(side)*10)
 	rng := rand.New(rand.NewSource(11))
@@ -89,9 +93,16 @@ func lifetimeMission(budget cost.Energy, rotate bool) (*emul.LifetimeOutcome, *c
 	}
 	fmap := field.Threshold(field.RandomBlobs(2, g.Terrain,
 		g.Terrain.Width()/6, g.Terrain.Width()/4, rand.New(rand.NewSource(21))), g, 0.5, 0)
+	bank := battery.Uniform(nw.N(), budget)
+	if tr != nil {
+		pm.SetTracer(tr)
+		med.SetTracer(tr)
+		l.SetTracer(tr, med.Kernel().Now)
+		bank.SetTracer(tr, med.Kernel().Now)
+	}
 	out, err := pm.RunLifetime(emul.LifetimeConfig{
 		Map:       fmap,
-		Bank:      battery.Uniform(nw.N(), budget),
+		Bank:      bank,
 		Rotator:   rot,
 		// Rotating every round would spend more on elections (one broadcast
 		// plus k-1 receptions per member) than the leveling recovers; a
@@ -127,7 +138,7 @@ func E19NetworkLifetime(o Options) *stats.Table {
 	sweep(o, tab, len(budgets)*len(modes), func(i int) rows {
 		budget := budgets[i/len(modes)]
 		rotate := modes[i%len(modes)] // static row first, rotation second
-		out, _ := lifetimeMission(budget, rotate)
+		out, _ := lifetimeMission(budget, rotate, o.Trace)
 		mode := "static"
 		if rotate {
 			mode = "rotate"
@@ -193,7 +204,7 @@ func E20DepletionARQ(o Options) *stats.Table {
 			cfg.Loss = ch.loss
 			cfg.LossSeed = 41
 		}
-		res, vm := faultRound(8, 7, cfg)
+		res, vm := faultRound(8, 7, cfg, o.Trace)
 		arqLabel := "off"
 		if rel.Enabled() {
 			arqLabel = "on"
@@ -228,7 +239,7 @@ func depletionSoakRound(seed int64) error {
 		LossSeed:    seed * 3,
 		Reliability: rel,
 		Battery:     bank,
-	})
+	}, nil)
 	if res.Depleted != bank.Deaths() {
 		return fmt.Errorf("seed %d: result counted %d depletions, bank %d", seed, res.Depleted, bank.Deaths())
 	}

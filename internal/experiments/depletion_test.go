@@ -41,8 +41,8 @@ func TestE19GoldenCSV(t *testing.T) {
 // completed rounds.
 func TestE19RotationExtendsLifetime(t *testing.T) {
 	for _, budget := range e19Budgets {
-		static, _ := lifetimeMission(budget, false)
-		rotate, _ := lifetimeMission(budget, true)
+		static, _ := lifetimeMission(budget, false, nil)
+		rotate, _ := lifetimeMission(budget, true, nil)
 		sFirst, rFirst := static.FirstDeathRound, rotate.FirstDeathRound
 		// -1 means nobody died within MaxRounds: treat as beyond the horizon.
 		if sFirst == -1 {
@@ -74,7 +74,7 @@ func TestE19LifetimeMonotoneInBudget(t *testing.T) {
 	for _, rotate := range []bool{false, true} {
 		prevRounds, prevFirst := -1, -1
 		for _, budget := range e19Budgets {
-			out, _ := lifetimeMission(budget, rotate)
+			out, _ := lifetimeMission(budget, rotate, nil)
 			first := out.FirstDeathRound
 			if first == -1 {
 				first = e19MaxRounds + 1
@@ -107,7 +107,7 @@ func TestE20ARQAcceleratesDepletion(t *testing.T) {
 			cfg := tc.cfg
 			cfg.Reliability = rel
 			cfg.Battery = battery.Uniform(64, 100)
-			res, vm := faultRound(8, 7, cfg)
+			res, vm := faultRound(8, 7, cfg, nil)
 			return res.Depleted, vm.Ledger().Total()
 		}
 		plainDead, plainEnergy := run(fault.Reliability{})

@@ -29,6 +29,7 @@ import (
 	"wsnva/internal/stats"
 	"wsnva/internal/synth"
 	"wsnva/internal/taskgraph"
+	"wsnva/internal/trace"
 	"wsnva/internal/varch"
 )
 
@@ -42,6 +43,13 @@ type Options struct {
 	// is byte-identical whatever the worker count — the determinism tests
 	// in parallel_test.go pin this.
 	Pool *parallel.Pool
+	// Trace, if non-nil, receives structured events from every engine the
+	// experiment drives (machines, ledgers, banks, media). Nil — the default
+	// and what benchtab uses — keeps every run untraced and byte-identical
+	// to the pre-observability harness. With a pool attached, events from
+	// concurrent sweep tasks interleave in scheduler order; trace one row at
+	// a time (or run sequentially) when event order matters.
+	Trace *trace.Tracer
 }
 
 func sides(o Options, full ...int) []int {
@@ -86,11 +94,17 @@ func boundedMapFor(side int) *field.BinaryMap {
 	return m
 }
 
-// runDES executes one synthesized labeling round on the DES machine.
-func runDES(m *field.BinaryMap) (*synth.Result, *cost.Ledger) {
+// runDES executes one synthesized labeling round on the DES machine,
+// optionally observed by tr (nil: untraced).
+func runDES(m *field.BinaryMap, tr *trace.Tracer) (*synth.Result, *cost.Ledger) {
 	h := varch.MustHierarchy(m.Grid)
 	l := cost.NewLedger(cost.NewUniform(), m.Grid.N())
-	vm := varch.NewMachine(h, sim.New(), l)
+	k := sim.New()
+	vm := varch.NewMachine(h, k, l)
+	if tr != nil {
+		vm.SetTracer(tr)
+		l.SetTracer(tr, k.Now)
+	}
 	res, err := synth.RunOnMachine(vm, m)
 	if err != nil {
 		panic(fmt.Sprintf("experiments: DES round failed: %v", err))
@@ -138,13 +152,13 @@ func E2Steps(o Options) *stats.Table {
 	sweep(o, tab, len(ss), func(i int) rows {
 		side := ss[i]
 		bounded := boundedMapFor(side)
-		resB, _ := runDES(bounded)
+		resB, _ := runDES(bounded, o.Trace)
 		solid := field.Threshold(field.Constant{Value: 1}, geom.NewSquareGrid(side, float64(side)), 0.5, 0)
-		resS, _ := runDES(solid)
+		resS, _ := runDES(solid, o.Trace)
 		agree := "-"
 		if side <= 16 {
 			h := varch.MustHierarchy(bounded.Grid)
-			rt, err := runtime.New(h).Run(bounded, nil, runtime.Config{Seed: 7})
+			rt, err := runtime.New(h).Run(bounded, nil, runtime.Config{Seed: 7, Tracer: o.Trace})
 			if err != nil {
 				panic(err)
 			}
@@ -169,7 +183,7 @@ func E3DCvsCentral(o Options) *stats.Table {
 	sweep(o, tab, len(ss), func(i int) rows {
 		side := ss[i]
 		m := blobMapFor(side, 101)
-		resDC, lDC := runDES(m)
+		resDC, lDC := runDES(m, o.Trace)
 		dcEnergy := float64(lDC.Metrics().Total)
 		lBase := cost.NewLedger(cost.NewUniform(), m.Grid.N())
 		_, st := baseline.Run(lBase, m, geom.Coord{})
@@ -198,7 +212,7 @@ func E4Balance(o Options) *stats.Table {
 	sweep(o, tab, len(ss), func(i int) rows {
 		side := ss[i]
 		m := blobMapFor(side, 101)
-		_, lDC := runDES(m)
+		_, lDC := runDES(m, o.Trace)
 		dcm := lDC.Metrics()
 		lBase := cost.NewLedger(cost.NewUniform(), m.Grid.N())
 		baseline.Run(lBase, m, geom.Coord{})
@@ -295,7 +309,7 @@ func E7Loss(o Options) *stats.Table {
 	results := parallel.Map(o.Pool, len(cfgs)*trials, func(t int) trialResult {
 		cfg, trial := cfgs[t/trials], t%trials
 		res, err := runtime.New(h).Run(m, nil,
-			runtime.Config{Loss: cfg.loss, Retries: cfg.retries, Seed: int64(trial*31 + 7)})
+			runtime.Config{Loss: cfg.loss, Retries: cfg.retries, Seed: int64(trial*31 + 7), Tracer: o.Trace})
 		if err != nil {
 			panic(err)
 		}
@@ -356,7 +370,7 @@ func E14AlarmApp(o Options) *stats.Table {
 		if err != nil {
 			panic(err)
 		}
-		_, labelLedger := runDES(m)
+		_, labelLedger := runDES(m, o.Trace)
 		latency := "-"
 		if res.Raised {
 			latency = fmt.Sprint(res.RaisedAt)
@@ -440,7 +454,7 @@ func E11SyncSteps(o Options) *stats.Table {
 		if err != nil {
 			panic(err)
 		}
-		_, desLedger := runDES(bounded)
+		_, desLedger := runDES(bounded, o.Trace)
 		return rows{{side, side * side, resB.Rounds, resS.Rounds,
 			float64(resB.Rounds) / float64(side),
 			lb.Metrics().Total == desLedger.Metrics().Total}}

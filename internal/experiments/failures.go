@@ -6,6 +6,7 @@ import (
 	"wsnva/internal/sim"
 	"wsnva/internal/stats"
 	"wsnva/internal/synth"
+	"wsnva/internal/trace"
 	"wsnva/internal/varch"
 )
 
@@ -24,11 +25,21 @@ import (
 const crashWindow = sim.Time(40)
 
 // faultRound runs one fault-injected labeling round and returns the result
-// alongside the machine it ran on (for its ledger and counters).
-func faultRound(side int, mapSeed int64, cfg synth.FaultConfig) (*synth.FaultResult, *varch.Machine) {
+// alongside the machine it ran on (for its ledger and counters). tr, when
+// non-nil, observes the machine, its ledger, and the battery bank (if the
+// config carries one).
+func faultRound(side int, mapSeed int64, cfg synth.FaultConfig, tr *trace.Tracer) (*synth.FaultResult, *varch.Machine) {
 	m := blobMapFor(side, mapSeed)
 	h := varch.MustHierarchy(m.Grid)
-	vm := varch.NewMachine(h, sim.New(), cost.NewLedger(cost.NewUniform(), m.Grid.N()))
+	k := sim.New()
+	vm := varch.NewMachine(h, k, cost.NewLedger(cost.NewUniform(), m.Grid.N()))
+	if tr != nil {
+		vm.SetTracer(tr)
+		vm.Ledger().SetTracer(tr, k.Now)
+		if cfg.Battery != nil {
+			cfg.Battery.SetTracer(tr, k.Now)
+		}
+	}
 	if cfg.LevelDeadline == 0 {
 		cfg.LevelDeadline = synth.DefaultLevelDeadline(vm)
 	}
@@ -54,7 +65,7 @@ func E17FailureSweep(o Options) *stats.Table {
 		n := side * side
 		res, vm := faultRound(side, 7, synth.FaultConfig{
 			Schedule: fault.MustRandom(n, frac, crashWindow, 1000+int64(side)),
-		})
+		}, o.Trace)
 		completion := any("stalled")
 		if res.Final != nil {
 			completion = res.Completion
@@ -86,7 +97,7 @@ func E18ReliableDelivery(o Options) *stats.Table {
 			Loss:        loss,
 			LossSeed:    33 + int64(side),
 			Reliability: rel,
-		})
+		}, o.Trace)
 		msgs, _ := vm.Stats()
 		arqLabel := "off"
 		if rel.Enabled() {

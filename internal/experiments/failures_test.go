@@ -40,7 +40,7 @@ func TestE17CoverageMonotone(t *testing.T) {
 	for _, frac := range []float64{0, 0.05, 0.1, 0.2, 0.3} {
 		res, _ := faultRound(8, 7, synth.FaultConfig{
 			Schedule: fault.MustRandom(64, frac, crashWindow, 1008),
-		})
+		}, nil)
 		if res.Final == nil {
 			t.Fatalf("frac %v: stalled", frac)
 		}
@@ -62,7 +62,7 @@ func TestE18ARQNeverWorseDelivery(t *testing.T) {
 				Loss:        loss,
 				LossSeed:    41,
 				Reliability: rel,
-			})
+			}, nil)
 			return res.Stats.Delivered
 		}
 		plain, reliable := run(fault.Reliability{}), run(fault.DefaultReliability())

@@ -196,6 +196,7 @@ func E12TreeTopology(o Options) *stats.Table {
 			out := trialResult{connected: true, occOK: nw.OccupancyOK(g)}
 			l := cost.NewLedger(cost.NewUniform(), nw.N())
 			med := radio.NewMedium(nw, sim.New(), l, rand.New(rand.NewSource(int64(trial)+500)), radio.Config{})
+			med.SetTracer(o.Trace)
 			p := vtree.New(med)
 			m := p.Build(0)
 			out.spans = m.Reached == nw.N()

@@ -1,0 +1,338 @@
+// Package metrics is a per-node measurement registry: named counters
+// indexed by node id and bounded histograms for latency and energy
+// distributions. Like the trace layer it is opt-in and nil-safe — a nil
+// *Registry hands out nil instruments whose methods no-op, so
+// instrumentation sites cost one pointer compare when detached — and
+// snapshots render in deterministic (sorted-name) order so experiment
+// output stays byte-reproducible.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds named instruments. The zero value is not usable; call
+// NewRegistry. Nil is usable as a disabled registry.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named per-node counter, creating it with n slots on
+// first use. Asking for an existing counter with a different size panics
+// (two subsystems disagreeing about the node count is a wiring bug). On a
+// nil registry it returns a nil counter, which is safe to use.
+func (r *Registry) Counter(name string, n int) *Counter {
+	if r == nil {
+		return nil
+	}
+	if n <= 0 {
+		panic(fmt.Sprintf("metrics: counter %q size %d must be positive", name, n))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		if len(c.v) != n {
+			panic(fmt.Sprintf("metrics: counter %q re-registered with size %d (was %d)", name, n, len(c.v)))
+		}
+		return c
+	}
+	c := &Counter{name: name, v: make([]int64, n)}
+	r.counters[name] = c
+	return c
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket bounds on first use. Bounds must be strictly increasing; an
+// observation lands in the first bucket whose bound is >= the value, or in
+// the overflow bucket. Re-registering with different bounds panics. On a
+// nil registry it returns a nil histogram, which is safe to use.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if len(bounds) == 0 {
+		panic(fmt.Sprintf("metrics: histogram %q needs at least one bound", name))
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: histogram %q bounds not strictly increasing at %d", name, i))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		if len(h.bounds) != len(bounds) {
+			panic(fmt.Sprintf("metrics: histogram %q re-registered with different bounds", name))
+		}
+		for i := range bounds {
+			if h.bounds[i] != bounds[i] {
+				panic(fmt.Sprintf("metrics: histogram %q re-registered with different bounds", name))
+			}
+		}
+		return h
+	}
+	h := &Histogram{name: name, bounds: append([]int64(nil), bounds...), counts: make([]int64, len(bounds)+1)}
+	r.hists[name] = h
+	return h
+}
+
+// ExpBounds returns n exponentially spaced bounds lo, 2lo, 4lo, ... —
+// the standard bucketing for latency and energy distributions whose tails
+// matter more than their means.
+func ExpBounds(lo int64, n int) []int64 {
+	if lo <= 0 || n <= 0 {
+		panic(fmt.Sprintf("metrics: ExpBounds(%d, %d) arguments must be positive", lo, n))
+	}
+	out := make([]int64, n)
+	b := lo
+	for i := 0; i < n; i++ {
+		out[i] = b
+		b *= 2
+	}
+	return out
+}
+
+// Counter is a named vector of per-node counts. All methods are safe on a
+// nil counter and for concurrent use (the goroutine runtime increments
+// from many goroutines).
+type Counter struct {
+	name string
+	v    []int64
+}
+
+// Add adds delta to node's count. Out-of-range nodes are ignored rather
+// than panicking: instruments must never take a run down.
+func (c *Counter) Add(node int, delta int64) {
+	if c == nil || node < 0 || node >= len(c.v) {
+		return
+	}
+	atomic.AddInt64(&c.v[node], delta)
+}
+
+// Inc adds one to node's count.
+func (c *Counter) Inc(node int) { c.Add(node, 1) }
+
+// Value returns node's count (0 for a nil counter or out-of-range node).
+func (c *Counter) Value(node int) int64 {
+	if c == nil || node < 0 || node >= len(c.v) {
+		return 0
+	}
+	return atomic.LoadInt64(&c.v[node])
+}
+
+// Total returns the sum over all nodes.
+func (c *Counter) Total() int64 {
+	if c == nil {
+		return 0
+	}
+	var sum int64
+	for i := range c.v {
+		sum += atomic.LoadInt64(&c.v[i])
+	}
+	return sum
+}
+
+// N returns the number of node slots.
+func (c *Counter) N() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.v)
+}
+
+// Histogram is a named bounded histogram. Safe on nil and for concurrent
+// use.
+type Histogram struct {
+	mu     sync.Mutex
+	name   string
+	bounds []int64
+	counts []int64 // len(bounds)+1; last is overflow
+	n      int64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	i := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= v })
+	h.counts[i]++
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if h.n == 0 || v > h.max {
+		h.max = v
+	}
+	h.n++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Min returns the smallest observation (0 when empty).
+func (h *Histogram) Min() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.min
+}
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// CounterSnapshot is one counter's state at snapshot time.
+type CounterSnapshot struct {
+	Name   string
+	Values []int64
+}
+
+// HistogramSnapshot is one histogram's state at snapshot time.
+type HistogramSnapshot struct {
+	Name   string
+	Bounds []int64
+	Counts []int64 // len(Bounds)+1; last is overflow
+	N      int64
+	Sum    int64
+	Min    int64
+	Max    int64
+}
+
+// Snapshot is a point-in-time copy of every instrument, ordered by name.
+type Snapshot struct {
+	Counters   []CounterSnapshot
+	Histograms []HistogramSnapshot
+}
+
+// Snapshot copies the registry's state with instruments sorted by name,
+// so rendering it is deterministic. Safe on a nil registry (empty
+// snapshot).
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make([]*Counter, 0, len(r.counters))
+	for _, c := range r.counters {
+		counters = append(counters, c)
+	}
+	hists := make([]*Histogram, 0, len(r.hists))
+	for _, h := range r.hists {
+		hists = append(hists, h)
+	}
+	r.mu.Unlock()
+
+	sort.Slice(counters, func(i, j int) bool { return counters[i].name < counters[j].name })
+	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
+	for _, c := range counters {
+		vals := make([]int64, len(c.v))
+		for i := range c.v {
+			vals[i] = atomic.LoadInt64(&c.v[i])
+		}
+		s.Counters = append(s.Counters, CounterSnapshot{Name: c.name, Values: vals})
+	}
+	for _, h := range hists {
+		h.mu.Lock()
+		s.Histograms = append(s.Histograms, HistogramSnapshot{
+			Name:   h.name,
+			Bounds: append([]int64(nil), h.bounds...),
+			Counts: append([]int64(nil), h.counts...),
+			N:      h.n,
+			Sum:    h.sum,
+			Min:    h.min,
+			Max:    h.max,
+		})
+		h.mu.Unlock()
+	}
+	return s
+}
+
+// String renders the snapshot: one summary line per counter (total,
+// nonzero slots, busiest node) and per histogram (count, min/mean/max,
+// non-empty buckets). Deterministic for a given registry state.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	for _, c := range s.Counters {
+		var total, nonzero, max int64
+		argmax := -1
+		for i, v := range c.Values {
+			total += v
+			if v != 0 {
+				nonzero++
+			}
+			if v > max {
+				max, argmax = v, i
+			}
+		}
+		fmt.Fprintf(&b, "counter   %-24s total=%-10d nonzero=%d/%d", c.Name, total, nonzero, len(c.Values))
+		if argmax >= 0 {
+			fmt.Fprintf(&b, " max=%d@%d", max, argmax)
+		}
+		b.WriteByte('\n')
+	}
+	for _, h := range s.Histograms {
+		mean := int64(0)
+		if h.N > 0 {
+			mean = h.Sum / h.N
+		}
+		fmt.Fprintf(&b, "histogram %-24s n=%-10d min=%d mean=%d max=%d buckets:", h.Name, h.N, h.Min, mean, h.Max)
+		for i, cnt := range h.Counts {
+			if cnt == 0 {
+				continue
+			}
+			if i < len(h.Bounds) {
+				fmt.Fprintf(&b, " <=%d:%d", h.Bounds[i], cnt)
+			} else {
+				fmt.Fprintf(&b, " >%d:%d", h.Bounds[len(h.Bounds)-1], cnt)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,203 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilRegistryAndInstruments(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", 4)
+	if c != nil {
+		t.Fatal("nil registry must hand out nil counters")
+	}
+	c.Inc(0)
+	c.Add(1, 5)
+	if c.Value(0) != 0 || c.Total() != 0 || c.N() != 0 {
+		t.Error("nil counter must read as zero")
+	}
+	h := r.Histogram("y", []int64{1, 2})
+	if h != nil {
+		t.Fatal("nil registry must hand out nil histograms")
+	}
+	h.Observe(3)
+	if h.Count() != 0 || h.Sum() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Error("nil histogram must read as zero")
+	}
+	if s := r.Snapshot(); len(s.Counters) != 0 || len(s.Histograms) != 0 {
+		t.Error("nil registry snapshot must be empty")
+	}
+}
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("radio.tx", 4)
+	c.Inc(0)
+	c.Inc(0)
+	c.Add(3, 5)
+	c.Add(-1, 100) // ignored
+	c.Add(4, 100)  // ignored
+	if got := c.Value(0); got != 2 {
+		t.Errorf("Value(0) = %d, want 2", got)
+	}
+	if got := c.Total(); got != 7 {
+		t.Errorf("Total = %d, want 7", got)
+	}
+	if c.N() != 4 {
+		t.Errorf("N = %d, want 4", c.N())
+	}
+	if c.Value(-1) != 0 || c.Value(4) != 0 {
+		t.Error("out-of-range reads must be 0")
+	}
+	if again := r.Counter("radio.tx", 4); again != c {
+		t.Error("same name+size must return the same counter")
+	}
+}
+
+func TestCounterSizeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering with a different size must panic")
+		}
+	}()
+	r.Counter("c", 8)
+}
+
+func TestCounterBadSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("size 0 must panic")
+		}
+	}()
+	NewRegistry().Counter("c", 0)
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []int64{1, 2, 4, 8})
+	for _, v := range []int64{0, 1, 2, 3, 5, 9, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Sum() != 120 {
+		t.Errorf("Sum = %d", h.Sum())
+	}
+	if h.Min() != 0 || h.Max() != 100 {
+		t.Errorf("Min/Max = %d/%d", h.Min(), h.Max())
+	}
+	s := r.Snapshot()
+	if len(s.Histograms) != 1 {
+		t.Fatal("snapshot missing histogram")
+	}
+	// 0,1 -> <=1; 2 -> <=2; 3 -> <=4; 5 -> <=8; 9,100 -> overflow.
+	want := []int64{2, 1, 1, 1, 2}
+	for i, w := range want {
+		if s.Histograms[0].Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, s.Histograms[0].Counts[i], w)
+		}
+	}
+}
+
+func TestHistogramBoundsValidation(t *testing.T) {
+	r := NewRegistry()
+	for _, bounds := range [][]int64{{}, {2, 2}, {3, 1}} {
+		bounds := bounds
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bounds %v must panic", bounds)
+				}
+			}()
+			r.Histogram("bad", bounds)
+		}()
+	}
+	r.Histogram("h", []int64{1, 2})
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering with different bounds must panic")
+		}
+	}()
+	r.Histogram("h", []int64{1, 3})
+}
+
+func TestExpBounds(t *testing.T) {
+	got := ExpBounds(1, 5)
+	want := []int64{1, 2, 4, 8, 16}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBounds = %v, want %v", got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("ExpBounds(0, 3) must panic")
+		}
+	}()
+	ExpBounds(0, 3)
+}
+
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zeta", 1).Inc(0)
+	r.Counter("alpha", 1).Inc(0)
+	r.Histogram("mu", []int64{1}).Observe(1)
+	r.Histogram("beta", []int64{1}).Observe(1)
+	s := r.Snapshot()
+	if s.Counters[0].Name != "alpha" || s.Counters[1].Name != "zeta" {
+		t.Errorf("counters not sorted: %v", []string{s.Counters[0].Name, s.Counters[1].Name})
+	}
+	if s.Histograms[0].Name != "beta" || s.Histograms[1].Name != "mu" {
+		t.Errorf("histograms not sorted")
+	}
+	if a, b := r.Snapshot().String(), r.Snapshot().String(); a != b {
+		t.Error("snapshot rendering not deterministic")
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("varch.send", 4)
+	c.Add(2, 9)
+	c.Inc(0)
+	h := r.Histogram("varch.latency", ExpBounds(1, 3))
+	h.Observe(3)
+	out := r.Snapshot().String()
+	for _, want := range []string{"counter", "varch.send", "total=10", "nonzero=2/4", "max=9@2",
+		"histogram", "varch.latency", "n=1", "mean=3", "<=4:1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("snapshot missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestConcurrentCounters exercises the atomic paths under the race
+// detector: many goroutines hammering the same counter and histogram.
+func TestConcurrentCounters(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", 8)
+	h := r.Histogram("h", ExpBounds(1, 8))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc(g)
+				h.Observe(int64(i % 50))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Total() != 8000 {
+		t.Errorf("Total = %d, want 8000", c.Total())
+	}
+	if h.Count() != 8000 {
+		t.Errorf("Count = %d, want 8000", h.Count())
+	}
+}

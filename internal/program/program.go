@@ -115,7 +115,15 @@ type Instance struct {
 	fx          Effector
 	fired       int64
 	firedByRule []int64
+	fireHook    func(rule string)
 }
+
+// SetFireHook installs an observer called with the rule's name each time a
+// rule is about to fire (after its guard passed, before its action runs,
+// so the firing notice precedes the action's own effects in a trace). Nil
+// disables; the default. The observability drivers use this to emit
+// RuleFire events without the interpreter knowing about tracing.
+func (inst *Instance) SetFireHook(h func(rule string)) { inst.fireHook = h }
 
 // NewInstance instantiates spec with the given effector and runs Init.
 func NewInstance(spec *Spec, fx Effector) *Instance {
@@ -137,6 +145,9 @@ func (inst *Instance) Step() bool {
 	for i := range inst.Spec.Rules {
 		r := &inst.Spec.Rules[i]
 		if r.Guard(inst.Env) {
+			if inst.fireHook != nil {
+				inst.fireHook(r.Name)
+			}
 			r.Action(inst.Env, inst.fx)
 			inst.fired++
 			inst.firedByRule[i]++

@@ -15,10 +15,13 @@ package radio
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 
 	"wsnva/internal/cost"
 	"wsnva/internal/deploy"
+	"wsnva/internal/metrics"
 	"wsnva/internal/sim"
+	"wsnva/internal/trace"
 )
 
 // Packet is what a node hears from the medium.
@@ -74,6 +77,11 @@ type Medium struct {
 	sent      int64 // broadcasts initiated
 	delivered int64 // per-neighbor successful deliveries
 	dropped   int64 // per-neighbor losses (loss draws and dead receivers)
+
+	tracer *trace.Tracer
+	mTx    *metrics.Counter
+	mRx    *metrics.Counter
+	mDrop  *metrics.Counter
 }
 
 // Config collects the knobs for a Medium.
@@ -111,11 +119,49 @@ func NewMedium(nw *deploy.Network, kernel *sim.Kernel, ledger *cost.Ledger, rng 
 	}
 }
 
+// SetTracer attaches an observability tracer (nil detaches): every
+// transmission, reception, drop, and kill emits a structured event. All
+// emissions are guarded, so a detached medium pays one pointer compare.
+func (m *Medium) SetTracer(t *trace.Tracer) { m.tracer = t }
+
+// SetMetrics registers the medium's per-node counters (radio.tx, radio.rx,
+// radio.drop) in reg. A nil registry detaches them.
+func (m *Medium) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		m.mTx, m.mRx, m.mDrop = nil, nil, nil
+		return
+	}
+	m.mTx = reg.Counter("radio.tx", m.nw.N())
+	m.mRx = reg.Counter("radio.rx", m.nw.N())
+	m.mDrop = reg.Counter("radio.drop", m.nw.N())
+}
+
+// emit records a structured event for node (and optional peer >= 0),
+// stamped at the kernel's current time. Callers guard with m.tracer != nil.
+func (m *Medium) emit(kind trace.Kind, node, peer int, size int64, detail string) {
+	e := trace.Event{At: m.kernel.Now(), Kind: kind,
+		Node: "#" + strconv.Itoa(node), ID: node,
+		Col: -1, Row: -1, PeerCol: -1, PeerRow: -1,
+		Bytes: size, Detail: detail}
+	if peer >= 0 {
+		e.Peer = "#" + strconv.Itoa(peer)
+	}
+	m.tracer.EmitEvent(e)
+}
+
 // Kill silences node for good: it stops transmitting (Broadcast/Unicast
 // from it are no-ops that charge nothing) and stops receiving (deliveries
 // to it are dropped without an Rx charge — the radio is off). Killing a
 // dead node is a no-op. Kill implements the fault layer's Target.
-func (m *Medium) Kill(node int) { m.alive[node] = false }
+func (m *Medium) Kill(node int) {
+	if !m.alive[node] {
+		return
+	}
+	m.alive[node] = false
+	if m.tracer != nil {
+		m.emit(trace.Death, node, -1, 0, "radio off")
+	}
+}
 
 // Alive reports whether node's radio is still up.
 func (m *Medium) Alive(node int) bool { return m.alive[node] }
@@ -138,10 +184,22 @@ func (m *Medium) Broadcast(from int, size int64, payload any) int {
 	}
 	m.sent++
 	m.ledger.Charge(from, cost.Tx, size)
+	if m.tracer != nil {
+		m.emit(trace.Tx, from, -1, size, "broadcast")
+	}
+	if m.mTx != nil {
+		m.mTx.Inc(from)
+	}
 	queued := 0
 	for _, nbr := range m.nw.Neighbors(from) {
 		if m.loss > 0 && m.rng.Float64() < m.loss {
 			m.dropped++
+			if m.tracer != nil {
+				m.emit(trace.Drop, nbr, from, size, "lost")
+			}
+			if m.mDrop != nil {
+				m.mDrop.Inc(nbr)
+			}
 			continue
 		}
 		queued++
@@ -169,8 +227,20 @@ func (m *Medium) Unicast(from, to int, size int64, payload any) bool {
 	}
 	m.sent++
 	m.ledger.Charge(from, cost.Tx, size)
+	if m.tracer != nil {
+		m.emit(trace.Tx, from, to, size, "unicast")
+	}
+	if m.mTx != nil {
+		m.mTx.Inc(from)
+	}
 	if m.loss > 0 && m.rng.Float64() < m.loss {
 		m.dropped++
+		if m.tracer != nil {
+			m.emit(trace.Drop, to, from, size, "lost")
+		}
+		if m.mDrop != nil {
+			m.mDrop.Inc(to)
+		}
 		return false
 	}
 	pkt := Packet{From: from, Size: size, Payload: payload}
@@ -194,10 +264,22 @@ func (m *Medium) deliver(to int, pkt Packet) {
 		// The receiver died while the packet was in flight: no Rx charge
 		// (the radio is off), no handler, counted as a drop.
 		m.dropped++
+		if m.tracer != nil {
+			m.emit(trace.Drop, to, pkt.From, pkt.Size, "dead receiver")
+		}
+		if m.mDrop != nil {
+			m.mDrop.Inc(to)
+		}
 		return
 	}
 	m.delivered++
 	m.ledger.Charge(to, cost.Rx, pkt.Size)
+	if m.tracer != nil {
+		m.emit(trace.Rx, to, pkt.From, pkt.Size, "")
+	}
+	if m.mRx != nil {
+		m.mRx.Inc(to)
+	}
 	if h := m.handlers[to]; h != nil {
 		h(pkt)
 	}

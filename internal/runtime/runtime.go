@@ -23,6 +23,7 @@ import (
 	"wsnva/internal/regions"
 	"wsnva/internal/routing"
 	"wsnva/internal/synth"
+	"wsnva/internal/trace"
 	"wsnva/internal/varch"
 )
 
@@ -62,6 +63,13 @@ type Config struct {
 	// depends on the scheduler: the battery invariants are byte-exact on
 	// the DES engine and statistical on this one.
 	Budget cost.Energy
+	// Tracer, if non-nil, receives structured events from the round. The
+	// concurrent engine has no simulated clock, so every event is stamped
+	// At=0 and ordered by sequence number only; emission order between
+	// goroutines is whatever the Go scheduler produced, which is exactly the
+	// adversarial-schedule story this engine exists to tell. The tracer's
+	// own mutex makes concurrent emission safe.
+	Tracer *trace.Tracer
 }
 
 // Result is the outcome of one concurrent round.
@@ -124,6 +132,7 @@ type run struct {
 	budget    int64
 	down      []atomic.Bool // set when a node's charge crosses the budget
 	depleted  atomic.Int64
+	tracer    *trace.Tracer
 }
 
 // dead reports whether a node is out of the round: statically crashed or
@@ -150,6 +159,21 @@ func (r *run) leaderOf(c geom.Coord, level int) geom.Coord {
 	return leader
 }
 
+// emit sends one structured event to the attached tracer. Callers guard
+// with f.rt.tracer != nil. At stays 0: this engine has no simulated time.
+func (f *nodeFx) emit(kind trace.Kind, c, peer geom.Coord, level int, bytes int64, detail string) {
+	e := trace.Event{Kind: kind, Node: c.String(), ID: f.grid.Index(c),
+		Col: c.Col, Row: c.Row, PeerCol: peer.Col, PeerRow: peer.Row,
+		Level: level, Bytes: bytes, Detail: detail}
+	if peer.Col >= 0 && peer.Row >= 0 {
+		e.Peer = peer.String()
+	}
+	f.rt.tracer.EmitEvent(e)
+}
+
+// rtNoPeer marks the absence of a counterpart coordinate.
+var rtNoPeer = geom.Coord{Col: -1, Row: -1}
+
 // charge adds units to a node's energy counter and trips its budget on the
 // crossing charge. Exactly one goroutine observes the crossing (the atomic
 // add is the arbiter), so the depleted count never double-counts. With no
@@ -162,6 +186,9 @@ func (f *nodeFx) charge(idx int, units int64) {
 	if f.rt.budget > 0 && newV > f.rt.budget && newV-units <= f.rt.budget {
 		f.rt.down[idx].Store(true)
 		f.rt.depleted.Add(1)
+		if f.rt.tracer != nil {
+			f.emit(trace.Deplete, f.grid.CoordOf(idx), rtNoPeer, 0, newV, "budget exhausted")
+		}
 	}
 }
 
@@ -179,18 +206,30 @@ func (f *nodeFx) Send(level int, size int64, payload any) {
 			f.charge(f.grid.Index(route[i]), units)   // rx
 		}
 	}
+	if f.rt.tracer != nil {
+		f.emit(trace.Send, f.coord, dst, level, size, "")
+	}
 	dstDead := f.rt.dead(f.grid.Index(dst))
 	delivered := false
 	for attempt := 0; attempt <= f.rt.retries; attempt++ {
+		if attempt > 0 && f.rt.tracer != nil {
+			f.emit(trace.Retry, f.coord, dst, level, size, "")
+		}
 		chargeRoute(size)
 		if f.rt.loss > 0 && f.rng.Float64() < f.rt.loss {
 			f.rt.dropped.Add(1)
+			if f.rt.tracer != nil {
+				f.emit(trace.Drop, dst, f.coord, level, size, "lost")
+			}
 			continue
 		}
 		if dstDead {
 			// The packet reached a dead radio: no ack, so every attempt
 			// times out like a loss.
 			f.rt.dropped.Add(1)
+			if f.rt.tracer != nil {
+				f.emit(trace.Drop, dst, f.coord, level, size, "dead receiver")
+			}
 			continue
 		}
 		delivered = true
@@ -203,6 +242,9 @@ func (f *nodeFx) Send(level int, size int64, payload any) {
 		return
 	}
 	f.rt.delivered.Add(1)
+	if f.rt.tracer != nil {
+		f.emit(trace.Deliver, dst, f.coord, level, size, "")
+	}
 	f.rt.pending.Add(1)
 	select {
 	case f.rt.inboxes[f.grid.Index(dst)] <- envelope{payload: payload}:
@@ -215,6 +257,9 @@ func (f *nodeFx) Exfiltrate(result any) {
 	f.rt.resultMu.Lock()
 	f.rt.results = append(f.rt.results, result)
 	f.rt.resultMu.Unlock()
+	if f.rt.tracer != nil {
+		f.emit(trace.Exfiltrate, f.coord, rtNoPeer, 0, 0, "final summary")
+	}
 }
 
 func (f *nodeFx) Compute(units int64) {
@@ -313,6 +358,12 @@ func (rt *Runtime) RunProgram(factory Factory, ledger *cost.Ledger, cfg Config) 
 		crashed:  cfg.Crashed,
 		failover: cfg.Failover,
 		budget:   int64(cfg.Budget),
+		tracer:   cfg.Tracer,
+	}
+	if r.tracer != nil {
+		r.tracer.EmitEvent(trace.Event{Kind: trace.Phase,
+			ID: -1, Col: -1, Row: -1, PeerCol: -1, PeerRow: -1,
+			Detail: "runtime-round:start"})
 	}
 	if r.budget > 0 {
 		r.down = make([]atomic.Bool, n)
@@ -350,6 +401,12 @@ func (rt *Runtime) RunProgram(factory Factory, ledger *cost.Ledger, cfg Config) 
 		// their inbox never drains — which is fine, because sends to them
 		// are dropped before enqueueing.
 		insts[idx] = program.NewInstance(factory(c), fx)
+		if r.tracer != nil {
+			inst := insts[idx]
+			inst.SetFireHook(func(rule string) {
+				fx.emit(trace.RuleFire, fx.coord, rtNoPeer, 0, 0, rule)
+			})
+		}
 		if cfg.Crashed != nil && cfg.Crashed[idx] {
 			continue
 		}
@@ -396,6 +453,11 @@ func (rt *Runtime) RunProgram(factory Factory, ledger *cost.Ledger, cfg Config) 
 	}
 	close(r.stop)
 	wg.Wait()
+	if r.tracer != nil {
+		r.tracer.EmitEvent(trace.Event{Kind: trace.Phase,
+			ID: -1, Col: -1, Row: -1, PeerCol: -1, PeerRow: -1,
+			Detail: "runtime-round:end"})
+	}
 
 	res := &GenericResult{
 		Exfiltrated: r.results,

@@ -32,6 +32,21 @@ type Event struct {
 	gen   uint64 // bumped on every reuse; stale Handles compare unequal
 }
 
+// Probe observes the kernel's scheduling activity. It exists so the
+// observability layer can watch the kernel without sim importing it (the
+// trace package imports sim for Time); attach an implementation with
+// SetProbe. A nil probe — the default — costs one pointer compare per
+// kernel operation.
+type Probe interface {
+	// EventScheduled reports a new scheduling: current time, target time,
+	// and the owning node (NoOwner for unowned events).
+	EventScheduled(now, at Time, owner int)
+	// EventFired reports an event about to execute at the current time.
+	EventFired(now Time, owner int)
+	// EventCancelled reports a cancellation (Cancel or CancelOwner).
+	EventCancelled(now Time, owner int)
+}
+
 // Handle identifies one scheduling of an event. It is a value, safe to copy
 // and to retain indefinitely: once the event fires or is cancelled the
 // handle goes stale, and cancelling a stale handle is always a no-op even
@@ -85,8 +100,12 @@ type Kernel struct {
 	// (the experiment sweeps schedule millions of deliveries) stops
 	// allocating one Event per message. Reuse bumps the event's generation,
 	// which is what keeps stale Handles harmless; see Cancel.
-	free []*Event
+	free  []*Event
+	probe Probe
 }
+
+// SetProbe attaches an observer of scheduling activity; nil detaches it.
+func (k *Kernel) SetProbe(p Probe) { k.probe = p }
 
 // New returns an empty kernel at time 0.
 func New() *Kernel {
@@ -152,6 +171,9 @@ func (k *Kernel) schedule(owner int, t Time, fire func()) Handle {
 	}
 	k.nextSeq++
 	heap.Push(&k.queue, e)
+	if k.probe != nil {
+		k.probe.EventScheduled(k.now, t, owner)
+	}
 	return Handle{e: e, gen: e.gen}
 }
 
@@ -168,6 +190,9 @@ func (k *Kernel) Cancel(h Handle) {
 	e.idx = -1
 	e.Fire = nil
 	k.free = append(k.free, e)
+	if k.probe != nil {
+		k.probe.EventCancelled(k.now, e.owner)
+	}
 }
 
 // CancelOwner removes every pending event owned by owner and returns how
@@ -189,6 +214,9 @@ func (k *Kernel) CancelOwner(owner int) int {
 		e.idx = -1
 		e.Fire = nil
 		k.free = append(k.free, e)
+		if k.probe != nil {
+			k.probe.EventCancelled(k.now, e.owner)
+		}
 	}
 	return len(victims)
 }
@@ -202,6 +230,9 @@ func (k *Kernel) Step() bool {
 	e := heap.Pop(&k.queue).(*Event)
 	k.now = e.At
 	k.fired++
+	if k.probe != nil {
+		k.probe.EventFired(k.now, e.owner)
+	}
 	k.running = true
 	e.Fire()
 	k.running = false

@@ -30,6 +30,7 @@ import (
 	"wsnva/internal/program"
 	"wsnva/internal/regions"
 	"wsnva/internal/sim"
+	"wsnva/internal/trace"
 	"wsnva/internal/varch"
 )
 
@@ -111,6 +112,7 @@ func (f *faultFx) Exfiltrate(result any) {
 	f.out.Final = result.(*regions.Summary)
 	f.out.Completion = f.vm.Kernel().Now()
 	f.out.ExfilCoord = f.coord
+	emitExfiltrate(f.vm, f.coord)
 }
 
 func (f *faultFx) Compute(units int64) { f.vm.Compute(f.coord, units) }
@@ -144,6 +146,7 @@ func RunWithFaults(vm *varch.Machine, m *field.BinaryMap, cfg FaultConfig) (*Fau
 		fx := &faultFx{vm: vm, coord: c, out: res}
 		spec := LabelingProgram(Config{Hier: h, Coord: c, Sense: SenseFromMap(m, c)})
 		inst := program.NewInstance(spec, fx)
+		wireTraceHooks(vm, inst, c)
 		insts[g.Index(c)] = inst
 		vm.Handle(c, func(msg varch.Message) {
 			inst.OnMessage(msg.Payload, maxQuiescenceSteps)
@@ -182,10 +185,12 @@ func RunWithFaults(vm *varch.Machine, m *field.BinaryMap, cfg FaultConfig) (*Fau
 		}
 	}
 
+	phase(vm, "fault-labeling:start")
 	for _, inst := range insts {
 		inst.RunToQuiescence(maxQuiescenceSteps)
 	}
 	vm.Kernel().Run()
+	phase(vm, "fault-labeling:end")
 	for _, inst := range insts {
 		res.RuleFirings += inst.Fired()
 	}
@@ -245,6 +250,11 @@ func watchdogFire(vm *varch.Machine, h *varch.Hierarchy, insts []*program.Instan
 	env.Bools[VarDone] = false
 	env.Bools[VarTransmit] = true
 	res.ForcedPromotions++
+	if tr := vm.Tracer(); tr != nil {
+		tr.EmitEvent(trace.Event{At: vm.Kernel().Now(), Kind: trace.Protocol,
+			Node: acting.String(), ID: g.Index(acting), Col: acting.Col, Row: acting.Row,
+			PeerCol: -1, PeerRow: -1, Level: k, Detail: "watchdog promote"})
+	}
 	if acting != leader {
 		res.LeaderFailovers++
 	}

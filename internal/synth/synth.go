@@ -22,6 +22,7 @@ import (
 	"wsnva/internal/program"
 	"wsnva/internal/regions"
 	"wsnva/internal/sim"
+	"wsnva/internal/trace"
 	"wsnva/internal/varch"
 )
 
@@ -207,10 +208,46 @@ func (f *machineFx) Exfiltrate(result any) {
 	f.out.Final = result.(*regions.Summary)
 	f.out.Completion = f.vm.Kernel().Now()
 	f.out.ExfilCoord = f.coord
+	emitExfiltrate(f.vm, f.coord)
 }
 
 func (f *machineFx) Compute(units int64) { f.vm.Compute(f.coord, units) }
 func (f *machineFx) Sense(units int64)   { f.vm.Sense(f.coord, units) }
+
+// emitExfiltrate records the out-of-network delivery when tracing is on.
+func emitExfiltrate(vm *varch.Machine, c geom.Coord) {
+	tr := vm.Tracer()
+	if tr == nil {
+		return
+	}
+	tr.EmitEvent(trace.Event{At: vm.Kernel().Now(), Kind: trace.Exfiltrate,
+		Node: c.String(), ID: vm.Grid().Index(c), Col: c.Col, Row: c.Row,
+		PeerCol: -1, PeerRow: -1, Detail: "final summary"})
+}
+
+// phase emits a driver phase-boundary marker when tracing is on.
+func phase(vm *varch.Machine, detail string) {
+	tr := vm.Tracer()
+	if tr == nil {
+		return
+	}
+	tr.EmitEvent(trace.Event{At: vm.Kernel().Now(), Kind: trace.Phase,
+		ID: -1, Col: -1, Row: -1, PeerCol: -1, PeerRow: -1, Detail: detail})
+}
+
+// wireTraceHooks makes inst's rule firings visible in the machine's trace.
+func wireTraceHooks(vm *varch.Machine, inst *program.Instance, c geom.Coord) {
+	tr := vm.Tracer()
+	if tr == nil {
+		return
+	}
+	idx := vm.Grid().Index(c)
+	inst.SetFireHook(func(rule string) {
+		tr.EmitEvent(trace.Event{At: vm.Kernel().Now(), Kind: trace.RuleFire,
+			Node: c.String(), ID: idx, Col: c.Col, Row: c.Row,
+			PeerCol: -1, PeerRow: -1, Detail: rule})
+	})
+}
 
 // maxQuiescenceSteps bounds rule firings per activation; a correct program
 // fires O(levels) rules per event.
@@ -244,6 +281,7 @@ func RunOnMachineWithTransport(vm *varch.Machine, m *field.BinaryMap, transport 
 		fx := &machineFx{vm: vm, coord: c, out: res}
 		spec := LabelingProgram(Config{Hier: h, Coord: c, Sense: SenseFromMap(m, c)})
 		inst := program.NewInstance(spec, fx)
+		wireTraceHooks(vm, inst, c)
 		insts[h.Grid.Index(c)] = inst
 		vm.Handle(c, func(msg varch.Message) {
 			payload := msg.Payload
@@ -261,10 +299,12 @@ func RunOnMachineWithTransport(vm *varch.Machine, m *field.BinaryMap, transport 
 		})
 	}
 	// Start every node at t=0; rule firings schedule the message traffic.
+	phase(vm, "labeling:start")
 	for _, inst := range insts {
 		inst.RunToQuiescence(maxQuiescenceSteps)
 	}
 	vm.Kernel().Run()
+	phase(vm, "labeling:end")
 	for _, inst := range insts {
 		res.RuleFirings += inst.Fired()
 		for i, n := range inst.FiredByRule() {

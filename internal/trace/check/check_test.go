@@ -1,0 +1,203 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"wsnva/internal/sim"
+	"wsnva/internal/trace"
+)
+
+// ev builds a minimal event; tests adjust the fields they care about.
+func ev(kind trace.Kind, at sim.Time, node, peer string, bytes int64) trace.Event {
+	return trace.Event{At: at, Kind: kind, Node: node, Peer: peer,
+		ID: -1, Col: -1, Row: -1, PeerCol: -1, PeerRow: -1, Bytes: bytes}
+}
+
+func rules(vs []Violation) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = v.Rule
+	}
+	return out
+}
+
+func wantRules(t *testing.T, vs []Violation, want ...string) {
+	t.Helper()
+	if len(vs) != len(want) {
+		t.Fatalf("got %d violations %v, want %v", len(vs), rules(vs), want)
+	}
+	for i, w := range want {
+		if vs[i].Rule != w {
+			t.Errorf("violation %d: rule %q, want %q (%s)", i, vs[i].Rule, w, vs[i])
+		}
+	}
+}
+
+func TestLawfulTracePasses(t *testing.T) {
+	events := []trace.Event{
+		ev(trace.Send, 0, "<0,0>", "<1,0>", 4),
+		ev(trace.Tx, 1, "#3", "", 4),
+		ev(trace.Rx, 2, "#5", "#3", 4),
+		ev(trace.Deliver, 3, "<1,0>", "<0,0>", 4),
+		ev(trace.Charge, 3, "<1,0>", "", 2),
+		ev(trace.Charge, 4, "<0,0>", "", 3),
+	}
+	wantRules(t, Run(events, Options{Side: 4, LedgerTotal: 5}))
+}
+
+func TestOrphanDeliver(t *testing.T) {
+	events := []trace.Event{
+		ev(trace.Deliver, 0, "<1,0>", "<0,0>", 4),
+	}
+	vs := Run(events, Options{LedgerTotal: -1})
+	wantRules(t, vs, "orphan-deliver")
+	if !strings.Contains(vs[0].Detail, "without matching send") {
+		t.Errorf("detail: %s", vs[0].Detail)
+	}
+}
+
+func TestRetryCreditsDeliver(t *testing.T) {
+	// A Retry re-credits the flow, so two deliveries of the same payload
+	// after a Send+Retry are lawful, while a third is an orphan.
+	events := []trace.Event{
+		ev(trace.Send, 0, "a", "b", 8),
+		ev(trace.Retry, 1, "a", "b", 8),
+		ev(trace.Deliver, 2, "b", "a", 8),
+		ev(trace.Deliver, 3, "b", "a", 8),
+		ev(trace.Deliver, 4, "b", "a", 8),
+	}
+	wantRules(t, Run(events, Options{LedgerTotal: -1}), "orphan-deliver")
+}
+
+func TestOrphanRx(t *testing.T) {
+	events := []trace.Event{
+		ev(trace.Tx, 0, "#1", "", 4),
+		ev(trace.Rx, 1, "#2", "#1", 4), // lawful
+		ev(trace.Rx, 2, "#2", "#9", 4), // peer never transmitted
+		ev(trace.Rx, 3, "#2", "#1", 6), // wrong size
+	}
+	wantRules(t, Run(events, Options{LedgerTotal: -1}), "orphan-rx", "orphan-rx")
+}
+
+func TestDeadAfterDeath(t *testing.T) {
+	events := []trace.Event{
+		ev(trace.Charge, 5, "#3", "", 1),
+		ev(trace.Death, 5, "#3", "", 0),
+		ev(trace.Charge, 5, "#3", "", 1), // same instant: the dying gasp, lawful
+		ev(trace.Drop, 7, "#3", "#1", 4), // passive: lawful
+		ev(trace.Charge, 7, "#3", "", 1), // cost plane may charge a crashed relay: lawful
+		ev(trace.Send, 8, "#3", "#1", 4), // active, strictly later: violation
+	}
+	vs := Run(events, Options{LedgerTotal: -1})
+	wantRules(t, vs, "dead-after-death")
+	if !strings.Contains(vs[0].Detail, "#3") {
+		t.Errorf("detail: %s", vs[0].Detail)
+	}
+}
+
+func TestChargeAfterDepletion(t *testing.T) {
+	events := []trace.Event{
+		ev(trace.Charge, 5, "#3", "", 1),
+		ev(trace.Deplete, 5, "#3", "", 0),
+		ev(trace.Death, 5, "#3", "", 0),
+		ev(trace.Charge, 5, "#3", "", 1), // same instant: the crossing charge, lawful
+		ev(trace.Charge, 9, "#3", "", 2), // the bank must have vetoed this: violation
+		ev(trace.Charge, 9, "#4", "", 2), // other nodes unaffected
+	}
+	vs := Run(events, Options{LedgerTotal: -1})
+	wantRules(t, vs, "charge-after-depletion")
+	if !strings.Contains(vs[0].Detail, "depleted at t=5") {
+		t.Errorf("detail: %s", vs[0].Detail)
+	}
+}
+
+func TestDeathIdentityUsesID(t *testing.T) {
+	// Physical events carry ID >= 0; the checker must track liveness by
+	// "#id" even when display names differ between emitters.
+	died := trace.Event{At: 1, Kind: trace.Death, Node: "node-7", ID: 7,
+		Col: -1, Row: -1, PeerCol: -1, PeerRow: -1}
+	active := trace.Event{At: 2, Kind: trace.Tx, Node: "7", ID: 7,
+		Col: -1, Row: -1, PeerCol: -1, PeerRow: -1, Bytes: 4}
+	wantRules(t, Run([]trace.Event{died, active}, Options{LedgerTotal: -1}), "dead-after-death")
+}
+
+func TestTimeRegression(t *testing.T) {
+	events := []trace.Event{
+		ev(trace.Phase, 5, "", "", 0),
+		ev(trace.Phase, 3, "", "", 0),
+	}
+	wantRules(t, Run(events, Options{LedgerTotal: -1}), "time-regression")
+}
+
+func TestConservation(t *testing.T) {
+	events := []trace.Event{
+		ev(trace.Charge, 0, "a", "", 3),
+		ev(trace.Charge, 1, "b", "", 4),
+	}
+	wantRules(t, Run(events, Options{LedgerTotal: 7}))
+	vs := Run(events, Options{LedgerTotal: 9})
+	wantRules(t, vs, "conservation")
+	if !strings.Contains(vs[0].Detail, "sum to 7") || !strings.Contains(vs[0].Detail, "total is 9") {
+		t.Errorf("detail: %s", vs[0].Detail)
+	}
+	// Negative total skips the rule entirely.
+	wantRules(t, Run(events, Options{LedgerTotal: -1}))
+}
+
+func TestLevelEdge(t *testing.T) {
+	mk := func(col, row, pcol, prow, level int) trace.Event {
+		return trace.Event{Kind: trace.Send, Node: "a", Peer: "b", ID: -1,
+			Col: col, Row: row, PeerCol: pcol, PeerRow: prow, Level: level, Bytes: 1}
+	}
+	// <0,0> -> <1,1> at level 1: same level-1 block, lawful.
+	wantRules(t, Run([]trace.Event{mk(0, 0, 1, 1, 1)}, Options{Side: 8, LedgerTotal: -1}))
+	// <0,0> -> <2,0> at level 1: crosses a level-1 block boundary.
+	wantRules(t, Run([]trace.Event{mk(0, 0, 2, 0, 1)}, Options{Side: 8, LedgerTotal: -1}), "level-edge")
+	// Coordinates outside the grid when Side is set.
+	wantRules(t, Run([]trace.Event{mk(0, 0, 9, 0, 1)}, Options{Side: 8, LedgerTotal: -1}), "level-edge")
+	// ...but range checks are disabled with Side 0 (and the edge is lawful
+	// at level 4 since 0>>4 == 9>>4).
+	wantRules(t, Run([]trace.Event{mk(0, 0, 9, 0, 4)}, Options{LedgerTotal: -1}))
+	// Garbage levels are flagged, never shifted.
+	vs := Run([]trace.Event{mk(0, 0, 1, 1, 63)}, Options{Side: 8, LedgerTotal: -1})
+	wantRules(t, vs, "level-edge")
+	if !strings.Contains(vs[0].Detail, "implausible") {
+		t.Errorf("detail: %s", vs[0].Detail)
+	}
+	// Level 0 and partial coordinates are skipped.
+	wantRules(t, Run([]trace.Event{mk(0, 0, 5, 5, 0)}, Options{Side: 8, LedgerTotal: -1}))
+	wantRules(t, Run([]trace.Event{mk(-1, -1, 5, 5, 2)}, Options{Side: 8, LedgerTotal: -1}))
+}
+
+func TestMaxViolationsCap(t *testing.T) {
+	var events []trace.Event
+	for i := 0; i < 50; i++ {
+		events = append(events, ev(trace.Deliver, sim.Time(i), "b", "a", 1))
+	}
+	if vs := Run(events, Options{LedgerTotal: -1, MaxViolations: 5}); len(vs) != 5 {
+		t.Errorf("cap 5: got %d violations", len(vs))
+	}
+	// Default cap is 100.
+	if vs := Run(events, Options{LedgerTotal: -1}); len(vs) != 50 {
+		t.Errorf("default cap: got %d violations", len(vs))
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Rule: "orphan-rx", Seq: 42, At: 7, Detail: "boom"}
+	s := v.String()
+	for _, want := range []string{"orphan-rx", "seq=42", "t=7", "boom"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	wantRules(t, Run(nil, Options{Side: 8, LedgerTotal: -1}))
+	// Empty trace with LedgerTotal 0 is lawful; with a positive total it
+	// is a conservation failure (charges were never traced).
+	wantRules(t, Run(nil, Options{LedgerTotal: 0}))
+	wantRules(t, Run(nil, Options{LedgerTotal: 5}), "conservation")
+}

@@ -1,0 +1,51 @@
+package check
+
+import (
+	"testing"
+
+	"wsnva/internal/sim"
+	"wsnva/internal/trace"
+)
+
+// FuzzRun feeds adversarial event orderings to the invariant engine. The
+// contract under fuzz is the one the package doc promises: Run never
+// panics, whatever the stream — hostile kinds, negative times, absurd
+// levels, deliveries before sends. Lawless streams must be flagged, and a
+// stream the checker accepts must still be accepted on replay (Run is a
+// pure function of its input).
+func FuzzRun(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3}, int64(4))
+	f.Add([]byte{13, 13, 13}, int64(-1))
+	f.Add([]byte{255, 0, 128, 7, 7}, int64(0))
+	f.Fuzz(func(t *testing.T, data []byte, total int64) {
+		// Each input byte deterministically shapes one event: three bits of
+		// kind variety, alternating identities, times that can regress,
+		// levels that can be garbage.
+		events := make([]trace.Event, 0, len(data))
+		for i, b := range data {
+			e := trace.Event{
+				Seq:  int64(i),
+				At:   sim.Time(int64(b%16) - 4), // negative and regressing times
+				Kind: trace.Kind(int(b) % 24),   // includes kinds beyond numKinds
+				Node: string(rune('a' + b%3)),
+				ID:   int(b%5) - 1,
+				Col:  int(b%6) - 1, Row: int(b%7) - 1,
+				PeerCol: int(b%9) - 1, PeerRow: int(b%4) - 1,
+				Level: int(b % 40), // up to implausible
+				Bytes: int64(b%8) - 2,
+			}
+			if b%2 == 0 {
+				e.Peer = string(rune('a' + (b+1)%3))
+			}
+			events = append(events, e)
+		}
+		vs := Run(events, Options{Side: 8, LedgerTotal: total % 64, MaxViolations: 32})
+		if len(vs) > 32 {
+			t.Fatalf("cap violated: %d violations", len(vs))
+		}
+		again := Run(events, Options{Side: 8, LedgerTotal: total % 64, MaxViolations: 32})
+		if len(again) != len(vs) {
+			t.Fatalf("Run is not deterministic: %d then %d violations", len(vs), len(again))
+		}
+	})
+}

@@ -1,14 +1,22 @@
-// Package trace is a bounded in-memory event recorder for simulation
-// runs: the machine and drivers emit typed events (transmissions,
-// deliveries, rule firings, exfiltration) into a ring buffer, and tools
-// render the tail as a timeline. Tracing is opt-in and nil-safe: a nil
-// *Tracer ignores every Emit, so instrumented code paths carry no
-// conditionals and (almost) no cost when tracing is off.
+// Package trace is the structured observability layer for simulation
+// runs: every subsystem — the kernel, the radio, the virtual machine, the
+// cost ledger, the battery bank, the runtime engines — emits typed events
+// carrying node identity, grid coordinates, hierarchy level, message
+// bytes, and simulated time into a bounded ring, and tools render
+// timelines (cmd/tracecat), export JSONL (Encode/Decode), or replay the
+// stream against conservation laws (trace/check).
+//
+// Tracing is opt-in and nil-safe: a nil *Tracer ignores every Emit, and
+// every instrumentation site guards its event construction behind a nil
+// check, so detached runs pay one pointer compare per site and stay
+// byte-identical to an uninstrumented build. A Tracer is safe for
+// concurrent use (the goroutine runtime emits from many goroutines).
 package trace
 
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"wsnva/internal/sim"
 )
@@ -16,7 +24,8 @@ import (
 // Kind classifies an event.
 type Kind int
 
-// Event kinds.
+// Event kinds. The first block predates the structured layer and its
+// values are load-bearing for old traces; new kinds are only ever appended.
 const (
 	Send Kind = iota // a message entered the network
 	Deliver
@@ -25,6 +34,22 @@ const (
 	RuleFire
 	Exfiltrate
 	Protocol // runtime-system protocol event (election, adoption, ...)
+
+	// Structured observability kinds.
+	Schedule // sim: an event was queued (Bytes holds the target time)
+	Fire     // sim: a queued event fired
+	Cancel   // sim: a queued event was cancelled
+	Tx       // radio: a transmission left a node
+	Rx       // radio: a delivery reached a node
+	Drop     // a delivery was lost, suppressed, or addressed to a dead node
+	Retry    // ARQ retransmission attempt
+	Ack      // ARQ acknowledgment charged
+	Failover // leader-addressed traffic re-resolved to an acting leader
+	GroupOp  // collective primitive invocation (sum, sort, rank)
+	Phase    // driver phase boundary (round start/end, setup stages)
+	Charge   // cost: an energy charge was granted (Bytes holds the energy)
+	Deplete  // battery: a node's drain crossed its budget
+	Death    // a node fail-stopped (crash or depletion)
 	numKinds
 )
 
@@ -44,25 +69,105 @@ func (k Kind) String() string {
 		return "exfil"
 	case Protocol:
 		return "proto"
+	case Schedule:
+		return "sched"
+	case Fire:
+		return "fire"
+	case Cancel:
+		return "cancel"
+	case Tx:
+		return "tx"
+	case Rx:
+		return "rx"
+	case Drop:
+		return "drop"
+	case Retry:
+		return "retry"
+	case Ack:
+		return "ack"
+	case Failover:
+		return "failover"
+	case GroupOp:
+		return "group"
+	case Phase:
+		return "phase"
+	case Charge:
+		return "charge"
+	case Deplete:
+		return "deplete"
+	case Death:
+		return "death"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
 
-// Event is one recorded occurrence.
+// Event is one recorded occurrence. Numeric fields that do not apply to a
+// given kind hold -1 (identities, coordinates) or 0 (level, bytes); Seq is
+// stamped by the tracer and is unique and monotone within one trace.
+//
+// Identity convention: ID is the subsystem's integer node index (grid
+// index for virtual nodes, deployment index for physical ones) and Node
+// its display form ("<2,3>" for virtual coordinates, "#17" for physical
+// nodes). Events from the physical and virtual planes of one run never
+// share an ID space on the same trace: physical emitters use ID, virtual
+// emitters over a physical network use ID = -1 and coordinates only.
 type Event struct {
-	At     sim.Time
-	Kind   Kind
-	Node   string // node identity, free-form ("<2,3>" or "phys 17")
-	Detail string
+	Seq     int64    `json:"seq"`
+	At      sim.Time `json:"at"`
+	Kind    Kind     `json:"kind"`
+	Node    string   `json:"node,omitempty"`
+	ID      int      `json:"id"`
+	Col     int      `json:"col"`
+	Row     int      `json:"row"`
+	PeerCol int      `json:"pcol"`
+	PeerRow int      `json:"prow"`
+	Level   int      `json:"level"`
+	Bytes   int64    `json:"bytes"`
+	Peer    string   `json:"peer,omitempty"`
+	Detail  string   `json:"detail,omitempty"`
+}
+
+// Describe renders the event's payload fields for human consumption:
+// the detail string when present, otherwise whatever structured fields
+// are set.
+func (e Event) Describe() string {
+	var b strings.Builder
+	if e.Peer != "" {
+		fmt.Fprintf(&b, "peer=%s", e.Peer)
+	}
+	if e.Level != 0 {
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "level=%d", e.Level)
+	}
+	if e.Bytes != 0 {
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "bytes=%d", e.Bytes)
+	}
+	if e.Detail != "" {
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(e.Detail)
+	}
+	return b.String()
 }
 
 // Tracer records events into a fixed-capacity ring. The zero value is not
-// usable; nil is (as a disabled tracer).
+// usable; nil is (as a disabled tracer). The ring's backing array grows
+// lazily up to the capacity, so large-capacity tracers cost nothing until
+// events actually arrive.
 type Tracer struct {
-	ring   []Event
-	next   int
-	filled bool
-	counts [numKinds]int64
+	mu      sync.Mutex
+	cap     int
+	ring    []Event
+	next    int
+	filled  bool
+	counts  [numKinds]int64
+	emitted int64
 }
 
 // New returns a tracer keeping the last capacity events.
@@ -70,30 +175,75 @@ func New(capacity int) *Tracer {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("trace: capacity %d must be positive", capacity))
 	}
-	return &Tracer{ring: make([]Event, capacity)}
+	return &Tracer{cap: capacity}
 }
 
-// Emit records an event. Safe on a nil tracer.
+// Emit records a legacy free-form event. Safe on a nil tracer.
 func (t *Tracer) Emit(at sim.Time, kind Kind, node, detail string) {
 	if t == nil {
 		return
 	}
-	t.counts[kind]++
-	t.ring[t.next] = Event{At: at, Kind: kind, Node: node, Detail: detail}
-	t.next++
-	if t.next == len(t.ring) {
-		t.next = 0
+	t.EmitEvent(Event{At: at, Kind: kind, Node: node, Detail: detail,
+		ID: -1, Col: -1, Row: -1, PeerCol: -1, PeerRow: -1})
+}
+
+// EmitEvent records a structured event, stamping its sequence number.
+// Safe on a nil tracer and for concurrent use.
+func (t *Tracer) EmitEvent(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	e.Seq = t.emitted
+	t.emitted++
+	if e.Kind >= 0 && e.Kind < numKinds {
+		t.counts[e.Kind]++
+	}
+	if len(t.ring) < t.cap {
+		t.ring = append(t.ring, e)
+	} else {
+		t.ring[t.next] = e
+		t.next++
+		if t.next == t.cap {
+			t.next = 0
+		}
 		t.filled = true
 	}
+	t.mu.Unlock()
 }
 
 // Count returns how many events of the kind were emitted (including ones
 // that have rotated out of the ring). Safe on a nil tracer.
 func (t *Tracer) Count(kind Kind) int64 {
+	if t == nil || kind < 0 || kind >= numKinds {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.counts[kind]
+}
+
+// Emitted returns the total number of events emitted. Safe on a nil
+// tracer.
+func (t *Tracer) Emitted() int64 {
 	if t == nil {
 		return 0
 	}
-	return t.counts[kind]
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.emitted
+}
+
+// Lost returns how many events have rotated out of the ring. A complete
+// trace — the precondition for the trace/check conservation rules — has
+// Lost() == 0. Safe on a nil tracer.
+func (t *Tracer) Lost() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.emitted - int64(len(t.ring))
 }
 
 // Events returns the retained events, oldest first.
@@ -101,8 +251,10 @@ func (t *Tracer) Events() []Event {
 	if t == nil {
 		return nil
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if !t.filled {
-		return append([]Event(nil), t.ring[:t.next]...)
+		return append([]Event(nil), t.ring[:len(t.ring)]...)
 	}
 	out := make([]Event, 0, len(t.ring))
 	out = append(out, t.ring[t.next:]...)
@@ -114,7 +266,33 @@ func (t *Tracer) Events() []Event {
 func (t *Tracer) Timeline() string {
 	var b strings.Builder
 	for _, e := range t.Events() {
-		fmt.Fprintf(&b, "t=%-6d %-8s %-8s %s\n", e.At, e.Kind, e.Node, e.Detail)
+		fmt.Fprintf(&b, "t=%-6d %-8s %-8s %s\n", e.At, e.Kind, e.Node, e.Describe())
 	}
 	return b.String()
+}
+
+// kernelProbe adapts a Tracer to sim.Probe. The kernel cannot import this
+// package (trace imports sim for sim.Time), so the adapter lives here and
+// is attached with Kernel.SetProbe(trace.KernelProbe(t)).
+type kernelProbe struct{ t *Tracer }
+
+// KernelProbe returns a sim.Probe recording the kernel's scheduling
+// activity: Schedule events carry the target time in Bytes (the event's At
+// is the emission time, keeping traces time-monotone), Fire and Cancel
+// carry the owner in ID.
+func KernelProbe(t *Tracer) sim.Probe { return kernelProbe{t: t} }
+
+func (p kernelProbe) EventScheduled(now, at sim.Time, owner int) {
+	p.t.EmitEvent(Event{At: now, Kind: Schedule, ID: owner,
+		Col: -1, Row: -1, PeerCol: -1, PeerRow: -1, Bytes: int64(at)})
+}
+
+func (p kernelProbe) EventFired(now sim.Time, owner int) {
+	p.t.EmitEvent(Event{At: now, Kind: Fire, ID: owner,
+		Col: -1, Row: -1, PeerCol: -1, PeerRow: -1})
+}
+
+func (p kernelProbe) EventCancelled(now sim.Time, owner int) {
+	p.t.EmitEvent(Event{At: now, Kind: Cancel, ID: owner,
+		Col: -1, Row: -1, PeerCol: -1, PeerRow: -1})
 }

@@ -2,7 +2,10 @@ package trace
 
 import (
 	"strings"
+	"sync"
 	"testing"
+
+	"wsnva/internal/sim"
 )
 
 func TestNilTracerIsSafe(t *testing.T) {
@@ -82,4 +85,142 @@ func TestNewPanicsOnBadCapacity(t *testing.T) {
 		}
 	}()
 	New(0)
+}
+
+func TestStructuredKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		Schedule: "sched", Fire: "fire", Cancel: "cancel",
+		Tx: "tx", Rx: "rx", Drop: "drop", Retry: "retry", Ack: "ack",
+		Failover: "failover", GroupOp: "group", Phase: "phase",
+		Charge: "charge", Deplete: "deplete", Death: "death",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if got := Kind(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown kind renders as %q", got)
+	}
+}
+
+func TestEmitEventSeqAndWraparound(t *testing.T) {
+	tr := New(3)
+	for i := 0; i < 7; i++ {
+		tr.EmitEvent(Event{At: sim.Time(i), Kind: Tx, ID: i, Bytes: int64(i)})
+	}
+	if tr.Emitted() != 7 {
+		t.Errorf("Emitted = %d, want 7", tr.Emitted())
+	}
+	if tr.Lost() != 4 {
+		t.Errorf("Lost = %d, want 4", tr.Lost())
+	}
+	evts := tr.Events()
+	if len(evts) != 3 {
+		t.Fatalf("retained %d, want 3", len(evts))
+	}
+	// Oldest first, seq stamped in emit order: 4, 5, 6.
+	for i, e := range evts {
+		if e.Seq != int64(4+i) || e.ID != 4+i {
+			t.Errorf("event %d = seq %d id %d, want %d", i, e.Seq, e.ID, 4+i)
+		}
+	}
+	if tr.Count(Tx) != 7 {
+		t.Errorf("Count(Tx) = %d, want 7 (rotated-out events included)", tr.Count(Tx))
+	}
+}
+
+func TestCompleteTraceHasNoLoss(t *testing.T) {
+	tr := New(16)
+	for i := 0; i < 16; i++ {
+		tr.EmitEvent(Event{Kind: Charge, Bytes: 1})
+	}
+	if tr.Lost() != 0 {
+		t.Errorf("Lost = %d on a trace within capacity", tr.Lost())
+	}
+}
+
+func TestNilTracerStructuredPaths(t *testing.T) {
+	var tr *Tracer
+	tr.EmitEvent(Event{Kind: Tx})
+	if tr.Emitted() != 0 || tr.Lost() != 0 {
+		t.Error("nil tracer must report zero emitted/lost")
+	}
+	if err := tr.WriteJSONL(&strings.Builder{}); err != nil {
+		t.Errorf("nil WriteJSONL: %v", err)
+	}
+}
+
+// TestConcurrentEmit hammers one tracer from many goroutines; run under
+// -race this pins the mutex discipline the goroutine runtime relies on.
+func TestConcurrentEmit(t *testing.T) {
+	tr := New(64)
+	var wg sync.WaitGroup
+	const workers, per = 8, 500
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr.EmitEvent(Event{Kind: Send, ID: w, Bytes: int64(i)})
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Emitted() != workers*per {
+		t.Errorf("Emitted = %d, want %d", tr.Emitted(), workers*per)
+	}
+	if tr.Count(Send) != workers*per {
+		t.Errorf("Count = %d, want %d", tr.Count(Send), workers*per)
+	}
+	seen := map[int64]bool{}
+	for _, e := range tr.Events() {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate seq %d", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	e := Event{Peer: "<1,0>", Level: 2, Bytes: 8, Detail: "route"}
+	got := e.Describe()
+	for _, want := range []string{"peer=<1,0>", "level=2", "bytes=8", "route"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Describe() = %q missing %q", got, want)
+		}
+	}
+	if (Event{}).Describe() != "" {
+		t.Error("empty event must describe as empty")
+	}
+}
+
+func TestKernelProbe(t *testing.T) {
+	tr := New(8)
+	k := sim.New()
+	k.SetProbe(KernelProbe(tr))
+	fired := false
+	id := k.At(5, func() { fired = true })
+	k.At(9, func() {})
+	_ = id
+	k.Run()
+	if !fired {
+		t.Fatal("scheduled event did not fire")
+	}
+	if tr.Count(Schedule) != 2 {
+		t.Errorf("Schedule count = %d, want 2", tr.Count(Schedule))
+	}
+	if tr.Count(Fire) != 2 {
+		t.Errorf("Fire count = %d, want 2", tr.Count(Fire))
+	}
+	// Schedule events are stamped at emission time with the target in
+	// Bytes, keeping the stream time-monotone.
+	for _, e := range tr.Events() {
+		if e.Kind == Schedule && e.At != 0 {
+			t.Errorf("Schedule stamped at t=%d, want emission time 0", e.At)
+		}
+		if e.Kind == Schedule && e.Bytes != 5 && e.Bytes != 9 {
+			t.Errorf("Schedule target = %d", e.Bytes)
+		}
+	}
 }

@@ -8,6 +8,7 @@ import (
 	"wsnva/internal/geom"
 	"wsnva/internal/routing"
 	"wsnva/internal/sim"
+	"wsnva/internal/trace"
 )
 
 // Collective computation primitives (Section 3.2 lists "summing, sorting,
@@ -50,13 +51,23 @@ func (s Strategy) String() string {
 // Values supplies the local value of each group member.
 type Values func(c geom.Coord) int64
 
+// emitGroup records a collective primitive invocation at the group leader.
+func (vm *Machine) emitGroup(leader geom.Coord, level int, prim string, strat Strategy) {
+	if vm.tracer == nil {
+		return
+	}
+	vm.tracer.EmitEvent(vm.evt(trace.GroupOp, leader, noPeer, level, 0, prim+"/"+strat.String()))
+}
+
 // GroupSum gathers and sums the members' values at the level-k leader.
 func (vm *Machine) GroupSum(leader geom.Coord, level int, vals Values, strat Strategy) (int64, sim.Time) {
+	vm.emitGroup(leader, level, "sum", strat)
 	return vm.reduce(leader, level, vals, strat, func(a, b int64) int64 { return a + b })
 }
 
 // GroupMin gathers the minimum of the members' values at the leader.
 func (vm *Machine) GroupMin(leader geom.Coord, level int, vals Values, strat Strategy) (int64, sim.Time) {
+	vm.emitGroup(leader, level, "min", strat)
 	return vm.reduce(leader, level, vals, strat, func(a, b int64) int64 {
 		if a < b {
 			return a
@@ -67,6 +78,7 @@ func (vm *Machine) GroupMin(leader geom.Coord, level int, vals Values, strat Str
 
 // GroupMax gathers the maximum of the members' values at the leader.
 func (vm *Machine) GroupMax(leader geom.Coord, level int, vals Values, strat Strategy) (int64, sim.Time) {
+	vm.emitGroup(leader, level, "max", strat)
 	return vm.reduce(leader, level, vals, strat, func(a, b int64) int64 {
 		if a > b {
 			return a
@@ -144,6 +156,7 @@ func (vm *Machine) reduce(leader geom.Coord, level int, vals Values, strat Strat
 // sorted ascending. Unlike reductions, the full multiset must travel, so
 // message sizes grow with the number of values carried.
 func (vm *Machine) GroupSort(leader geom.Coord, level int, vals Values, strat Strategy) ([]int64, sim.Time) {
+	vm.emitGroup(leader, level, "sort", strat)
 	h := vm.Hier
 	var out []int64
 	var latency sim.Time
@@ -209,6 +222,7 @@ func (vm *Machine) GroupSort(leader geom.Coord, level int, vals Values, strat St
 // Communication is identical to a sum gather: each member contributes a
 // 0/1 indicator.
 func (vm *Machine) GroupRank(leader geom.Coord, level int, vals Values, value int64, strat Strategy) (int64, sim.Time) {
+	vm.emitGroup(leader, level, "rank", strat)
 	below, lat := vm.reduce(leader, level, func(c geom.Coord) int64 {
 		if vals(c) < value {
 			return 1
@@ -233,9 +247,18 @@ func (vm *Machine) chargeRoute(from, to geom.Coord, size int64) (cost.Energy, si
 	}
 	if !vm.aliveIdx(g.Index(from)) {
 		vm.fstats.Suppressed++
+		if vm.tracer != nil {
+			vm.tracer.EmitEvent(vm.evt(trace.Drop, from, to, 0, size, "suppressed"))
+		}
 		return 0, 0, false
 	}
 	vm.msgs++
+	if vm.tracer != nil {
+		vm.tracer.EmitEvent(vm.evt(trace.Send, from, to, 0, size, "route"))
+	}
+	if vm.mSend != nil {
+		vm.mSend.Inc(g.Index(from))
+	}
 	hopLat := sim.Time(hops) * sim.Time(vm.ledger.Model().TxLatency(size))
 	var e cost.Energy
 	var lat sim.Time
@@ -252,9 +275,15 @@ func (vm *Machine) chargeRoute(from, to geom.Coord, size int64) (cost.Energy, si
 		lat += hopLat
 		if a > 1 {
 			vm.fstats.Retransmissions++
+			if vm.tracer != nil {
+				vm.tracer.EmitEvent(vm.evt(trace.Retry, from, to, 0, size, ""))
+			}
 		}
 		if vm.loss > 0 && vm.lossRNG.Float64() < vm.loss {
 			vm.fstats.Lost++
+			if vm.tracer != nil {
+				vm.tracer.EmitEvent(vm.evt(trace.Drop, to, from, 0, size, "lost"))
+			}
 			if a < maxAttempts {
 				lat += vm.reliable.Backoff(a)
 			}
@@ -268,6 +297,9 @@ func (vm *Machine) chargeRoute(from, to geom.Coord, size int64) (cost.Energy, si
 	}
 	if !vm.aliveIdx(g.Index(to)) {
 		vm.fstats.DeadDrops++
+		if vm.tracer != nil {
+			vm.tracer.EmitEvent(vm.evt(trace.Drop, to, from, 0, size, "dead receiver"))
+		}
 		return e, lat, false
 	}
 	if vm.reliable.Enabled() {
@@ -276,9 +308,18 @@ func (vm *Machine) chargeRoute(from, to geom.Coord, size int64) (cost.Energy, si
 			e += vm.ledger.ChargeTransfer(g.Index(p), g.Index(q), ack)
 		})
 		vm.fstats.Acks++
+		if vm.tracer != nil {
+			vm.tracer.EmitEvent(vm.evt(trace.Ack, to, from, 0, ack, ""))
+		}
 		lat += sim.Time(hops) * sim.Time(vm.ledger.Model().TxLatency(ack))
 	}
 	vm.fstats.Delivered++
+	if vm.tracer != nil {
+		vm.tracer.EmitEvent(vm.evt(trace.Deliver, to, from, 0, size, "route"))
+	}
+	if vm.mDeliver != nil {
+		vm.mDeliver.Inc(g.Index(to))
+	}
 	return e, lat, true
 }
 

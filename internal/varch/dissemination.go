@@ -60,13 +60,14 @@ func (vm *Machine) GroupBroadcast(leader geom.Coord, level int, size int64, payl
 		}
 	}
 	g := h.Grid
+	sentAt := vm.kernel.Now()
 	for _, m := range h.Followers(leader, level) {
 		if reached != nil && !reached[m] {
 			continue
 		}
 		m := m
 		msg := Message{From: leader, Size: size, Payload: payload}
-		vm.kernel.AtOwned(g.Index(m), vm.kernel.Now()+total, func() { vm.deliver(m, msg) })
+		vm.kernel.AtOwned(g.Index(m), sentAt+total, func() { vm.deliver(m, msg, sentAt) })
 	}
 	return total
 }

@@ -9,6 +9,7 @@ import (
 	"wsnva/internal/geom"
 	"wsnva/internal/routing"
 	"wsnva/internal/sim"
+	"wsnva/internal/trace"
 )
 
 // Fault wiring for the virtual machine: a fail-stop alive gate, a seeded
@@ -104,7 +105,13 @@ func (vm *Machine) Kill(node int) {
 			vm.alive[i] = true
 		}
 	}
+	if !vm.alive[node] {
+		return
+	}
 	vm.alive[node] = false
+	if vm.tracer != nil {
+		vm.tracer.EmitEvent(vm.evt(trace.Death, vm.Hier.Grid.CoordOf(node), noPeer, 0, 0, ""))
+	}
 }
 
 // KillCoord is Kill addressed by grid coordinate.
@@ -133,6 +140,9 @@ func (vm *Machine) ActingLeaderAt(c geom.Coord, level int) geom.Coord {
 	}
 	for _, m := range vm.Hier.Followers(leader, level) {
 		if vm.aliveIdx(vm.Hier.Grid.Index(m)) {
+			if vm.tracer != nil {
+				vm.tracer.EmitEvent(vm.evt(trace.Failover, m, leader, level, 0, "acting leader"))
+			}
 			return m
 		}
 	}
@@ -148,7 +158,8 @@ type flight struct {
 	level    int // leader level the message was addressed at; 0: plain send
 	size     int64
 	msg      Message
-	attempt  int // retransmissions so far
+	sentAt   sim.Time // original send time, for end-to-end latency metrics
+	attempt  int      // retransmissions so far
 	delivery sim.Handle
 	retry    sim.Handle
 }
@@ -167,6 +178,9 @@ func (vm *Machine) launch(f *flight) {
 	base := vm.delay(sim.Time(hops) * sim.Time(vm.ledger.Model().TxLatency(f.size)))
 	if vm.lossDraw() {
 		vm.fstats.Lost++
+		if vm.tracer != nil {
+			vm.tracer.EmitEvent(vm.evt(trace.Drop, f.to, f.from, f.level, f.size, "lost"))
+		}
 		f.delivery = sim.Handle{}
 	} else {
 		f.delivery = vm.kernel.AfterOwned(g.Index(f.to), base, func() { vm.arrive(f) })
@@ -207,6 +221,9 @@ func (vm *Machine) retransmit(f *flight) {
 	if f.level > 0 {
 		f.to = vm.ActingLeaderAt(f.from, f.level)
 	}
+	if vm.tracer != nil {
+		vm.tracer.EmitEvent(vm.evt(trace.Retry, f.from, f.to, f.level, f.size, ""))
+	}
 	vm.launch(f)
 }
 
@@ -217,6 +234,9 @@ func (vm *Machine) arrive(f *flight) {
 	g := vm.Hier.Grid
 	if !vm.aliveIdx(g.Index(f.to)) {
 		vm.fstats.DeadDrops++
+		if vm.tracer != nil {
+			vm.tracer.EmitEvent(vm.evt(trace.Drop, f.to, f.from, f.level, f.size, "dead receiver"))
+		}
 		return
 	}
 	vm.kernel.Cancel(f.retry)
@@ -226,6 +246,9 @@ func (vm *Machine) arrive(f *flight) {
 			vm.ledger.ChargeTransfer(g.Index(a), g.Index(b), ack)
 		})
 		vm.fstats.Acks++
+		if vm.tracer != nil {
+			vm.tracer.EmitEvent(vm.evt(trace.Ack, f.to, f.from, f.level, ack, ""))
+		}
 	}
-	vm.deliver(f.to, f.msg)
+	vm.deliver(f.to, f.msg, f.sentAt)
 }

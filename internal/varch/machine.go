@@ -7,6 +7,7 @@ import (
 	"wsnva/internal/cost"
 	"wsnva/internal/fault"
 	"wsnva/internal/geom"
+	"wsnva/internal/metrics"
 	"wsnva/internal/routing"
 	"wsnva/internal/sim"
 	"wsnva/internal/trace"
@@ -39,6 +40,9 @@ type Machine struct {
 	msgs     int64 // messages accepted by Send
 	hops     int64 // total virtual hops traversed
 	tracer   *trace.Tracer
+	mSend    *metrics.Counter
+	mDeliver *metrics.Counter
+	hLatency *metrics.Histogram
 
 	jitter    sim.Time
 	jitterRNG *rand.Rand
@@ -57,6 +61,41 @@ type Machine struct {
 
 // SetTracer attaches an event tracer (nil disables tracing, the default).
 func (vm *Machine) SetTracer(t *trace.Tracer) { vm.tracer = t }
+
+// Tracer returns the attached tracer, or nil. Driver layers (synth, emul)
+// use it to decide whether to wire their own phase and rule-firing hooks.
+func (vm *Machine) Tracer() *trace.Tracer { return vm.tracer }
+
+// SetMetrics registers the machine's per-node counters (varch.send,
+// varch.deliver) and the end-to-end delivery latency histogram
+// (varch.latency) in reg. A nil registry detaches them.
+func (vm *Machine) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		vm.mSend, vm.mDeliver, vm.hLatency = nil, nil, nil
+		return
+	}
+	n := vm.Hier.Grid.N()
+	vm.mSend = reg.Counter("varch.send", n)
+	vm.mDeliver = reg.Counter("varch.deliver", n)
+	vm.hLatency = reg.Histogram("varch.latency", metrics.ExpBounds(1, 12))
+}
+
+// noPeer marks the absence of a counterpart coordinate in a structured
+// event.
+var noPeer = geom.Coord{Col: -1, Row: -1}
+
+// evt builds a structured event for the virtual node at c; peer is the
+// counterpart coordinate, or noPeer when there is none. Building the event
+// allocates (coordinate strings), so callers guard with vm.tracer != nil.
+func (vm *Machine) evt(kind trace.Kind, c, peer geom.Coord, level int, bytes int64, detail string) trace.Event {
+	e := trace.Event{At: vm.kernel.Now(), Kind: kind,
+		Node: c.String(), ID: vm.Hier.Grid.Index(c), Col: c.Col, Row: c.Row,
+		PeerCol: peer.Col, PeerRow: peer.Row, Level: level, Bytes: bytes, Detail: detail}
+	if peer.Col >= 0 && peer.Row >= 0 {
+		e.Peer = peer.String()
+	}
+	return e
+}
 
 // SetJitter adds a uniform random extra delay in [0, j] to every message
 // delivery, drawn from rng — a deterministic (seeded) way to exercise the
@@ -133,17 +172,25 @@ func (vm *Machine) sendMsg(from, to geom.Coord, level int, size int64, payload a
 	}
 	if !vm.aliveIdx(g.Index(from)) {
 		vm.fstats.Suppressed++
+		if vm.tracer != nil {
+			vm.tracer.EmitEvent(vm.evt(trace.Drop, from, to, level, size, "suppressed"))
+		}
 		return
 	}
 	vm.msgs++
-	vm.tracer.Emit(vm.kernel.Now(), trace.Send, from.String(),
-		fmt.Sprintf("-> %v size=%d", to, size))
+	if vm.tracer != nil {
+		vm.tracer.EmitEvent(vm.evt(trace.Send, from, to, level, size, ""))
+	}
+	if vm.mSend != nil {
+		vm.mSend.Inc(g.Index(from))
+	}
+	sentAt := vm.kernel.Now()
 	msg := Message{From: from, Size: size, Payload: payload}
 	hops := from.Manhattan(to)
 	if hops == 0 {
 		// Self-delivery crosses no radio: loss and ARQ do not apply, but the
 		// event is owned by the receiver so a crash still cancels it.
-		vm.kernel.AfterOwned(g.Index(to), vm.delay(0), func() { vm.deliver(to, msg) })
+		vm.kernel.AfterOwned(g.Index(to), vm.delay(0), func() { vm.deliver(to, msg, sentAt) })
 		return
 	}
 	if vm.loss == 0 && vm.burst == nil && !vm.reliable.Enabled() {
@@ -153,10 +200,10 @@ func (vm *Machine) sendMsg(from, to geom.Coord, level int, size int64, payload a
 		})
 		vm.hops += int64(hops)
 		base := sim.Time(hops) * sim.Time(vm.ledger.Model().TxLatency(size))
-		vm.kernel.AfterOwned(g.Index(to), vm.delay(base), func() { vm.deliver(to, msg) })
+		vm.kernel.AfterOwned(g.Index(to), vm.delay(base), func() { vm.deliver(to, msg, sentAt) })
 		return
 	}
-	vm.launch(&flight{from: from, to: to, level: level, size: size, msg: msg})
+	vm.launch(&flight{from: from, to: to, level: level, size: size, msg: msg, sentAt: sentAt})
 }
 
 // SendToLeader is the group-communication primitive of Section 3.2: it
@@ -168,15 +215,26 @@ func (vm *Machine) SendToLeader(from geom.Coord, level int, size int64, payload 
 	vm.sendMsg(from, vm.ActingLeaderAt(from, level), level, size, payload)
 }
 
-func (vm *Machine) deliver(to geom.Coord, msg Message) {
-	if !vm.aliveIdx(vm.Hier.Grid.Index(to)) {
+func (vm *Machine) deliver(to geom.Coord, msg Message, sentAt sim.Time) {
+	idx := vm.Hier.Grid.Index(to)
+	if !vm.aliveIdx(idx) {
 		vm.fstats.DeadDrops++
+		if vm.tracer != nil {
+			vm.tracer.EmitEvent(vm.evt(trace.Drop, to, msg.From, 0, msg.Size, "dead receiver"))
+		}
 		return
 	}
 	vm.fstats.Delivered++
-	vm.tracer.Emit(vm.kernel.Now(), trace.Deliver, to.String(),
-		fmt.Sprintf("<- %v size=%d", msg.From, msg.Size))
-	if h := vm.handlers[vm.Hier.Grid.Index(to)]; h != nil {
+	if vm.tracer != nil {
+		vm.tracer.EmitEvent(vm.evt(trace.Deliver, to, msg.From, 0, msg.Size, ""))
+	}
+	if vm.mDeliver != nil {
+		vm.mDeliver.Inc(idx)
+	}
+	if vm.hLatency != nil {
+		vm.hLatency.Observe(int64(vm.kernel.Now() - sentAt))
+	}
+	if h := vm.handlers[idx]; h != nil {
 		h(msg)
 	}
 }
@@ -184,13 +242,23 @@ func (vm *Machine) deliver(to geom.Coord, msg Message) {
 // Compute charges node c for processing units data units and returns the
 // latency the computation occupies.
 func (vm *Machine) Compute(c geom.Coord, units int64) sim.Time {
-	vm.ledger.Charge(vm.Hier.Grid.Index(c), cost.Compute, units)
+	idx := vm.Hier.Grid.Index(c)
+	vm.ledger.Charge(idx, cost.Compute, units)
+	// Alive-gated: a dead CPU computes nothing (its charge was vetoed too),
+	// and collectives call Compute on sub-leaders without checking liveness.
+	if vm.tracer != nil && vm.aliveIdx(idx) {
+		vm.tracer.EmitEvent(vm.evt(trace.Compute, c, noPeer, 0, units, ""))
+	}
 	return sim.Time(vm.ledger.Model().ComputeLatency(units))
 }
 
 // Sense charges node c for one sensor sample of the given size.
 func (vm *Machine) Sense(c geom.Coord, units int64) sim.Time {
-	vm.ledger.Charge(vm.Hier.Grid.Index(c), cost.Sense, units)
+	idx := vm.Hier.Grid.Index(c)
+	vm.ledger.Charge(idx, cost.Sense, units)
+	if vm.tracer != nil && vm.aliveIdx(idx) {
+		vm.tracer.EmitEvent(vm.evt(trace.Sense, c, noPeer, 0, units, ""))
+	}
 	return sim.Time(vm.ledger.Model().ComputeLatency(units))
 }
 
