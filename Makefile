@@ -2,15 +2,16 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-short race bench bench-json soak cover tables csv report fuzz examples clean
+.PHONY: all check build vet test test-short race race-core bench bench-json bench-diff soak cover tables csv report fuzz examples clean
 
 all: build vet test
 
-# The full pre-merge gate: vet, build, the test suite under the race
+# The full pre-merge gate: vet, build, an uncached race pass over the
+# concurrency-critical packages, the whole test suite under the race
 # detector, one quick benchmark iteration to catch allocation or
 # wall-time blowups, a battery-depletion soak, and the observability
 # coverage floor before they land.
-check: vet build race bench soak cover
+check: vet build race-core race bench soak cover
 
 build:
 	$(GO) build ./...
@@ -26,6 +27,12 @@ test-short:
 
 race:
 	$(GO) test -race ./...
+
+# The event kernel, the radio medium, and the worker pool are where a
+# data race would silently break determinism, so they get a fresh
+# (-count=1, never cached) race pass on every check.
+race-core:
+	$(GO) test -race -count=1 ./internal/sim/ ./internal/radio/ ./internal/parallel/
 
 # Micro-benchmarks only (-run=^$$ skips the unit tests), with allocation
 # counts; short benchtime keeps this a quick regression pass. Compare the
@@ -56,6 +63,13 @@ cover:
 # Refresh the committed per-experiment wall-time/alloc baseline.
 bench-json:
 	$(GO) run ./cmd/benchtab -parallel 1 -bench-json BENCH_0.json > /dev/null
+
+# Perf gate: re-measure every experiment into BENCH_1.json and diff it
+# against the committed BENCH_0.json baseline; fails on any experiment
+# regressing more than 10% on wall time or mallocs.
+bench-diff:
+	$(GO) run ./cmd/benchtab -parallel 1 -bench-json BENCH_1.json > /dev/null
+	$(GO) run ./cmd/benchtab -compare -tolerance 10 BENCH_0.json BENCH_1.json
 
 # Regenerate every experiment table (E1-E20, A1-A3).
 tables:

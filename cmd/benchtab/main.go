@@ -8,10 +8,16 @@
 // Usage:
 //
 //	benchtab [-quick] [-csv] [-out results/] [-only E3,E5] [-parallel N] [-bench-json BENCH.json]
+//	benchtab -compare OLD.json NEW.json [-tolerance PCT]
 //
 // Parallelism never changes the output: tables are assembled in submission
 // order, and every trial derives its seed from (experiment, side, trial), so
 // -parallel 1 and -parallel 32 emit byte-identical tables.
+//
+// The -compare mode diffs two -bench-json reports experiment by experiment
+// (wall time, mallocs, bytes allocated) and exits nonzero if any experiment
+// regressed beyond -tolerance percent on wall time or mallocs — the perf
+// gate that keeps kernel and hot-path changes honest.
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"strings"
+	"text/tabwriter"
 	"time"
 
 	"wsnva/internal/experiments"
@@ -57,7 +64,17 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment IDs to run (e.g. E3,E8); empty runs all")
 	nworkers := flag.Int("parallel", 0, "worker pool size; 0 means GOMAXPROCS, 1 forces sequential")
 	benchJSON := flag.String("bench-json", "", "write per-experiment wall time and alloc counts to this JSON file")
+	compare := flag.Bool("compare", false, "compare two -bench-json reports (OLD.json NEW.json) and exit nonzero on regressions")
+	tolerance := flag.Float64("tolerance", 10, "percent regression allowed per experiment (wall time, mallocs) in -compare mode")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchtab: -compare needs exactly two arguments: OLD.json NEW.json")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *tolerance))
+	}
 
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
@@ -183,4 +200,112 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// loadReport reads one -bench-json file.
+func loadReport(path string) (*benchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r benchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// pctDelta returns the percent change from old to new; a zero baseline with
+// a nonzero new value counts as +100% so it can never hide a regression.
+func pctDelta(old, new float64) float64 {
+	if old == 0 {
+		if new == 0 {
+			return 0
+		}
+		return 100
+	}
+	return (new - old) / old * 100
+}
+
+// wallNoiseFloor is the absolute wall-time increase an experiment must show
+// before a percentage regression counts. Sub-millisecond experiments swing
+// tens of percent on scheduler jitter alone; a gate that cries wolf on them
+// teaches people to ignore it.
+const wallNoiseFloor = int64(time.Millisecond)
+
+// runCompare diffs two bench reports and returns the process exit code:
+// 0 when every shared experiment stays within tol percent on wall time and
+// mallocs, 1 when any regresses past it. Wall-time regressions additionally
+// need to exceed wallNoiseFloor in absolute terms. Experiments present in
+// only one report are listed but never fail the gate — the experiment set
+// is allowed to grow.
+func runCompare(oldPath, newPath string, tol float64) int {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+		return 2
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+		return 2
+	}
+	oldByID := make(map[string]benchRecord, len(oldRep.Records))
+	for _, r := range oldRep.Records {
+		oldByID[r.ID] = r
+	}
+	if oldRep.Quick != newRep.Quick {
+		fmt.Fprintf(os.Stderr, "benchtab: refusing to compare: %s has quick=%v, %s has quick=%v\n",
+			oldPath, oldRep.Quick, newPath, newRep.Quick)
+		return 2
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(w, "ID\twall old\twall new\tΔ%%\tmallocs old\tmallocs new\tΔ%%\tbytes old\tbytes new\tΔ%%\t\n")
+	regressed := []string{}
+	seen := map[string]bool{}
+	for _, nr := range newRep.Records {
+		or, ok := oldByID[nr.ID]
+		if !ok {
+			fmt.Fprintf(w, "%s\t-\t%s\t new\t-\t%d\t new\t-\t%d\t new\t\n",
+				nr.ID, time.Duration(nr.WallNanos), nr.Mallocs, nr.BytesAlloc)
+			continue
+		}
+		seen[nr.ID] = true
+		dw := pctDelta(float64(or.WallNanos), float64(nr.WallNanos))
+		dm := pctDelta(float64(or.Mallocs), float64(nr.Mallocs))
+		db := pctDelta(float64(or.BytesAlloc), float64(nr.BytesAlloc))
+		mark := ""
+		if (dw > tol && nr.WallNanos-or.WallNanos > wallNoiseFloor) || dm > tol {
+			mark = " !"
+			regressed = append(regressed, nr.ID)
+		}
+		fmt.Fprintf(w, "%s%s\t%s\t%s\t%+.1f\t%d\t%d\t%+.1f\t%d\t%d\t%+.1f\t\n",
+			nr.ID, mark,
+			time.Duration(or.WallNanos).Round(time.Microsecond),
+			time.Duration(nr.WallNanos).Round(time.Microsecond), dw,
+			or.Mallocs, nr.Mallocs, dm,
+			or.BytesAlloc, nr.BytesAlloc, db)
+	}
+	for _, or := range oldRep.Records {
+		found := false
+		for _, nr := range newRep.Records {
+			if nr.ID == or.ID {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(w, "%s\t%s\t-\t gone\t%d\t-\t gone\t%d\t-\t gone\t\n",
+				or.ID, time.Duration(or.WallNanos), or.Mallocs, or.BytesAlloc)
+		}
+	}
+	w.Flush()
+	if len(regressed) > 0 {
+		fmt.Fprintf(os.Stderr, "benchtab: regression beyond %.1f%% tolerance in: %s\n",
+			tol, strings.Join(regressed, ", "))
+		return 1
+	}
+	fmt.Printf("benchtab: no regression beyond %.1f%% tolerance across %d experiments\n", tol, len(seen))
+	return 0
 }

@@ -202,6 +202,24 @@ func FromPoints(pts []geom.Point, terrain geom.Rect, txRange float64) *Network {
 	return nw
 }
 
+// FromAdjacency builds a network from explicit positions and an explicit
+// adjacency list, bypassing the disk-model neighbor construction. It
+// exists for tests and tools that need a connectivity graph the geometry
+// would not produce — including deliberately malformed ones: adj is taken
+// as given, so a caller can hand the radio layer an unsorted list and
+// assert it gets rejected. adj must have one entry per point; entries may
+// be nil.
+func FromAdjacency(pts []geom.Point, terrain geom.Rect, txRange float64, adj [][]int) *Network {
+	if len(adj) != len(pts) {
+		panic(fmt.Sprintf("deploy: %d adjacency lists for %d nodes", len(adj), len(pts)))
+	}
+	nodes := make([]Node, len(pts))
+	for i, pt := range pts {
+		nodes[i] = Node{ID: i, Pos: pt}
+	}
+	return &Network{Nodes: nodes, Range: txRange, Terrain: terrain, neighbors: adj}
+}
+
 // buildNeighbors constructs adjacency lists with a spatial hash of bucket
 // side Range, so only the 3×3 surrounding buckets are scanned per node.
 func (nw *Network) buildNeighbors() {

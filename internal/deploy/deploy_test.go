@@ -340,3 +340,31 @@ func TestNewPanics(t *testing.T) {
 		}()
 	}
 }
+
+// TestFromAdjacency checks the explicit-adjacency constructor hands back
+// exactly the lists it was given and enforces the one-list-per-node shape.
+func TestFromAdjacency(t *testing.T) {
+	pts := []geom.Point{{X: 0.5, Y: 0.5}, {X: 1.5, Y: 0.5}, {X: 2.5, Y: 0.5}}
+	adj := [][]int{{1}, {0, 2}, {1}}
+	nw := FromAdjacency(pts, geom.Rect{MaxX: 4, MaxY: 4}, 1.0, adj)
+	if nw.N() != 3 {
+		t.Fatalf("N = %d, want 3", nw.N())
+	}
+	for id := range adj {
+		got := nw.Neighbors(id)
+		if len(got) != len(adj[id]) {
+			t.Fatalf("node %d neighbors = %v, want %v", id, got, adj[id])
+		}
+		for i := range got {
+			if got[i] != adj[id][i] {
+				t.Fatalf("node %d neighbors = %v, want %v", id, got, adj[id])
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched adjacency length should panic")
+		}
+	}()
+	FromAdjacency(pts, geom.Rect{MaxX: 4, MaxY: 4}, 1.0, adj[:2])
+}

@@ -16,6 +16,7 @@ package program
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Env is a node's mutable state: named integer, boolean, and object
@@ -125,18 +126,54 @@ type Instance struct {
 // RuleFire events without the interpreter knowing about tracing.
 func (inst *Instance) SetFireHook(h func(rule string)) { inst.fireHook = h }
 
+// instPool recycles released Instances (with their Envs) across runs. The
+// experiment sweeps instantiate one program per grid cell per trial — tens
+// of thousands of instances, each costing three map headers plus their
+// first-insert buckets — and a recycled Env keeps its (cleared) buckets,
+// so steady-state instantiation allocates nothing. The pool is shared by
+// the parallel trial workers; every recycled instance is reset to exactly
+// the state a fresh one starts in, so reuse never changes results.
+var instPool = sync.Pool{New: func() any { return &Instance{Env: NewEnv()} }}
+
 // NewInstance instantiates spec with the given effector and runs Init.
+// Instances come from a recycling pool; hand them back with Release once
+// the run is over and every result has been read out.
 func NewInstance(spec *Spec, fx Effector) *Instance {
-	inst := &Instance{
-		Spec:        spec,
-		Env:         NewEnv(),
-		fx:          fx,
-		firedByRule: make([]int64, len(spec.Rules)),
+	inst := instPool.Get().(*Instance)
+	inst.Spec = spec
+	inst.fx = fx
+	if cap(inst.firedByRule) < len(spec.Rules) {
+		inst.firedByRule = make([]int64, len(spec.Rules))
+	} else {
+		inst.firedByRule = inst.firedByRule[:len(spec.Rules)]
+		for i := range inst.firedByRule {
+			inst.firedByRule[i] = 0
+		}
 	}
 	if spec.Init != nil {
 		spec.Init(inst.Env)
 	}
 	return inst
+}
+
+// Release returns inst to the instance pool. The caller promises the
+// instance is quiescent and no longer referenced: values still held in its
+// Env (result summaries, delivered payloads) survive — only the containers
+// are cleared — but the instance itself must not be touched again. Release
+// of an instance is optional; an un-released instance is simply garbage.
+func (inst *Instance) Release() {
+	e := inst.Env
+	clear(e.Ints)
+	clear(e.Bools)
+	clear(e.Objs)
+	// Dropping the inbox outright (rather than reslicing) keeps the pool
+	// from retaining references to delivered payloads.
+	e.inbox = nil
+	inst.Spec = nil
+	inst.fx = nil
+	inst.fired = 0
+	inst.fireHook = nil
+	instPool.Put(inst)
 }
 
 // Step evaluates guards in order and fires the first enabled rule.

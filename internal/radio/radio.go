@@ -15,6 +15,7 @@ package radio
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"strconv"
 
 	"wsnva/internal/cost"
@@ -78,6 +79,15 @@ type Medium struct {
 	delivered int64 // per-neighbor successful deliveries
 	dropped   int64 // per-neighbor losses (loss draws and dead receivers)
 
+	// freeDel recycles delivery records (see delivery) so the steady-state
+	// hot path schedules fan-out without allocating; the scratch slices are
+	// per-Broadcast working storage for grouping survivors by delay. None
+	// of this state is live across kernel events, only within one call.
+	freeDel      []*delivery
+	scratchTo    []int
+	scratchDelay []sim.Time
+	scratchTaken []bool
+
 	tracer *trace.Tracer
 	mTx    *metrics.Counter
 	mRx    *metrics.Counter
@@ -102,6 +112,18 @@ func NewMedium(nw *deploy.Network, kernel *sim.Kernel, ledger *cost.Ledger, rng 
 	d := cfg.Delay
 	if d == nil {
 		d = UniformDelay{Model: ledger.Model()}
+	}
+	// The unicast neighbor check binary-searches the adjacency lists, so
+	// their documented sort order is load-bearing; verify it once here
+	// rather than trusting every Network constructor forever.
+	for id := 0; id < nw.N(); id++ {
+		nbrs := nw.Neighbors(id)
+		for i := 1; i < len(nbrs); i++ {
+			if nbrs[i-1] >= nbrs[i] {
+				panic(fmt.Sprintf("radio: adjacency list of node %d not strictly ascending (%d then %d)",
+					id, nbrs[i-1], nbrs[i]))
+			}
+		}
 	}
 	alive := make([]bool, nw.N())
 	for i := range alive {
@@ -171,10 +193,54 @@ func (m *Medium) Alive(node int) bool { return m.alive[node] }
 // for packets that arrive while deaf — the radio hardware ran either way).
 func (m *Medium) Handle(id int, h Handler) { m.handlers[id] = h }
 
+// delivery is a pooled in-flight transmission: one scheduled kernel event
+// that delivers a packet to every receiver that drew the same delay, in
+// ascending neighbor-ID order. fire is bound to run once, when the record
+// is first allocated, so the hot path schedules fan-out with zero
+// per-packet allocations (no closure, no per-neighbor Packet copy).
+type delivery struct {
+	m    *Medium
+	pkt  Packet
+	to   []int
+	fire func()
+}
+
+// newDelivery takes a record off the free list or allocates one.
+func (m *Medium) newDelivery() *delivery {
+	if n := len(m.freeDel); n > 0 {
+		d := m.freeDel[n-1]
+		m.freeDel[n-1] = nil
+		m.freeDel = m.freeDel[:n-1]
+		return d
+	}
+	d := &delivery{m: m}
+	d.fire = d.run
+	return d
+}
+
+// run executes the delivery event and returns the record to the pool.
+// Per-receiver liveness is judged here, at delivery time, exactly as the
+// per-neighbor events it replaces did.
+func (d *delivery) run() {
+	for _, to := range d.to {
+		d.m.deliver(to, d.pkt)
+	}
+	d.pkt = Packet{}
+	d.to = d.to[:0]
+	d.m.freeDel = append(d.m.freeDel, d)
+}
+
 // Broadcast transmits a packet of the given size from node from to all of
 // its one-hop neighbors. Delivery to each neighbor is independent: its own
 // delay draw and its own loss draw. Returns the number of neighbors the
 // packet was queued for (i.e., not dropped).
+//
+// Fan-out is batched: neighbors whose delay draws coincide share one
+// scheduled event that delivers to each of them in ascending ID order.
+// Replay is bit-for-bit identical to per-neighbor scheduling — the RNG is
+// consumed in neighbor order exactly as before, neighbors with distinct
+// delays fire at distinct times, and neighbors with equal delays fired in
+// scheduling order, which was ascending-ID too.
 func (m *Medium) Broadcast(from int, size int64, payload any) int {
 	if size < 0 {
 		panic(fmt.Sprintf("radio: negative packet size %d", size))
@@ -190,7 +256,11 @@ func (m *Medium) Broadcast(from int, size int64, payload any) int {
 	if m.mTx != nil {
 		m.mTx.Inc(from)
 	}
-	queued := 0
+	// Pass 1: draw per-neighbor randomness in neighbor order (the exact
+	// stream of the per-event code this replaces), keeping survivors.
+	m.scratchTo = m.scratchTo[:0]
+	m.scratchDelay = m.scratchDelay[:0]
+	uniform := true
 	for _, nbr := range m.nw.Neighbors(from) {
 		if m.loss > 0 && m.rng.Float64() < m.loss {
 			m.dropped++
@@ -202,12 +272,51 @@ func (m *Medium) Broadcast(from int, size int64, payload any) int {
 			}
 			continue
 		}
-		queued++
-		nbr := nbr
-		pkt := Packet{From: from, Size: size, Payload: payload}
-		m.kernel.After(m.delay.Delay(size, m.rng), func() {
-			m.deliver(nbr, pkt)
-		})
+		d := m.delay.Delay(size, m.rng)
+		if len(m.scratchDelay) > 0 && d != m.scratchDelay[0] {
+			uniform = false
+		}
+		m.scratchTo = append(m.scratchTo, nbr)
+		m.scratchDelay = append(m.scratchDelay, d)
+	}
+	queued := len(m.scratchTo)
+	if queued == 0 {
+		return 0
+	}
+	pkt := Packet{From: from, Size: size, Payload: payload}
+	if uniform {
+		// Jitter-free common case: the whole fan-out is one event.
+		d := m.newDelivery()
+		d.pkt = pkt
+		d.to = append(d.to, m.scratchTo...)
+		m.kernel.After(m.scratchDelay[0], d.fire)
+		return queued
+	}
+	// Jittered case: group survivors sharing a delay, first-occurrence
+	// order. Ascending-ID order within each group falls out of the pass-1
+	// iteration order.
+	if cap(m.scratchTaken) < queued {
+		m.scratchTaken = make([]bool, queued)
+	}
+	taken := m.scratchTaken[:queued]
+	for i := range taken {
+		taken[i] = false
+	}
+	for i := 0; i < queued; i++ {
+		if taken[i] {
+			continue
+		}
+		d := m.newDelivery()
+		d.pkt = pkt
+		d.to = append(d.to, m.scratchTo[i])
+		delay := m.scratchDelay[i]
+		for j := i + 1; j < queued; j++ {
+			if !taken[j] && m.scratchDelay[j] == delay {
+				taken[j] = true
+				d.to = append(d.to, m.scratchTo[j])
+			}
+		}
+		m.kernel.After(delay, d.fire)
 	}
 	return queued
 }
@@ -243,20 +352,19 @@ func (m *Medium) Unicast(from, to int, size int64, payload any) bool {
 		}
 		return false
 	}
-	pkt := Packet{From: from, Size: size, Payload: payload}
-	m.kernel.After(m.delay.Delay(size, m.rng), func() {
-		m.deliver(to, pkt)
-	})
+	d := m.newDelivery()
+	d.pkt = Packet{From: from, Size: size, Payload: payload}
+	d.to = append(d.to, to)
+	m.kernel.After(m.delay.Delay(size, m.rng), d.fire)
 	return true
 }
 
+// isNeighbor binary-searches from's adjacency list, which NewMedium
+// verified is strictly ascending.
 func (m *Medium) isNeighbor(from, to int) bool {
-	for _, n := range m.nw.Neighbors(from) {
-		if n == to {
-			return true
-		}
-	}
-	return false
+	nbrs := m.nw.Neighbors(from)
+	i := sort.SearchInts(nbrs, to)
+	return i < len(nbrs) && nbrs[i] == to
 }
 
 func (m *Medium) deliver(to int, pkt Packet) {

@@ -231,3 +231,109 @@ func TestAccessors(t *testing.T) {
 		t.Error("Kernel accessor")
 	}
 }
+
+// TestUnsortedAdjacencyRejected pins the assumption the binary-search
+// neighbor check rests on: NewMedium must refuse a network whose adjacency
+// lists are not strictly ascending, because a silent acceptance would turn
+// Unicast's membership test into coin flips.
+func TestUnsortedAdjacencyRejected(t *testing.T) {
+	pts := []geom.Point{{X: 0.5, Y: 0.5}, {X: 1.5, Y: 0.5}, {X: 2.5, Y: 0.5}}
+	adj := [][]int{{1}, {2, 0}, {1}} // node 1's list is out of order
+	nw := deploy.FromAdjacency(pts, geom.Rect{MaxX: 10, MaxY: 10}, 1.0, adj)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewMedium accepted an unsorted adjacency list")
+		}
+	}()
+	NewMedium(nw, sim.New(), cost.NewLedger(cost.NewUniform(), nw.N()),
+		rand.New(rand.NewSource(1)), Config{})
+}
+
+// TestIsNeighborMatchesLinearScan cross-checks the binary search against a
+// straight scan over every ordered pair of a real (spatial-hash built)
+// deployment.
+func TestIsNeighborMatchesLinearScan(t *testing.T) {
+	nw := deploy.New(40, geom.Rect{MaxX: 8, MaxY: 8}, 1.5,
+		deploy.UniformRandom{}, rand.New(rand.NewSource(7)))
+	m, _, _ := newMedium(t, nw, Config{})
+	for from := 0; from < nw.N(); from++ {
+		want := map[int]bool{}
+		for _, n := range nw.Neighbors(from) {
+			want[n] = true
+		}
+		for to := 0; to < nw.N(); to++ {
+			if got := m.isNeighbor(from, to); got != want[to] {
+				t.Fatalf("isNeighbor(%d,%d) = %v, linear scan says %v", from, to, got, want[to])
+			}
+		}
+	}
+}
+
+// TestBroadcastBatchDeliveryOrder pins the fan-out contract the batching
+// must preserve: with jitter making delay draws collide arbitrarily,
+// deliveries still occur in (delay, ascending neighbor ID) order, exactly
+// as per-neighbor scheduling produced.
+func TestBroadcastBatchDeliveryOrder(t *testing.T) {
+	// A star: node 0 in the middle, 8 neighbors in range.
+	pts := []geom.Point{{X: 5, Y: 5}}
+	for i := 0; i < 8; i++ {
+		pts = append(pts, geom.Point{X: 4.5 + float64(i%3)*0.5, Y: 4.5 + float64(i/3)*0.5})
+	}
+	nw := deploy.FromPoints(pts, geom.Rect{MaxX: 10, MaxY: 10}, 2.0)
+	for trial := int64(0); trial < 20; trial++ {
+		k := sim.New()
+		l := cost.NewLedger(cost.NewUniform(), nw.N())
+		m := NewMedium(nw, k, l, rand.New(rand.NewSource(trial)),
+			Config{Delay: UniformDelay{Model: l.Model(), Jitter: 3}})
+		type arrival struct {
+			at sim.Time
+			id int
+		}
+		var got []arrival
+		for id := 1; id < nw.N(); id++ {
+			id := id
+			m.Handle(id, func(Packet) { got = append(got, arrival{k.Now(), id}) })
+		}
+		m.Broadcast(0, 4, nil)
+		k.Run()
+		if len(got) != nw.N()-1 {
+			t.Fatalf("trial %d: %d deliveries, want %d", trial, len(got), nw.N()-1)
+		}
+		for i := 1; i < len(got); i++ {
+			a, b := got[i-1], got[i]
+			if a.at > b.at || (a.at == b.at && a.id >= b.id) {
+				t.Fatalf("trial %d: deliveries out of (delay, ID) order: %v then %v", trial, a, b)
+			}
+		}
+	}
+}
+
+// TestDeliveryPoolReuse drives enough traffic through a medium to recycle
+// delivery records and checks conservation still holds — the pooled record
+// must be fully reset between flights.
+func TestDeliveryPoolReuse(t *testing.T) {
+	nw := chain(t)
+	m, k, _ := newMedium(t, nw, Config{})
+	heard := 0
+	for id := 0; id < nw.N(); id++ {
+		m.Handle(id, func(p Packet) {
+			heard++
+			if p.Payload != "payload" {
+				t.Fatalf("stale payload %v leaked through the pool", p.Payload)
+			}
+		})
+	}
+	for round := 0; round < 50; round++ {
+		for from := 0; from < nw.N(); from++ {
+			m.Broadcast(from, 1, "payload")
+		}
+		k.Run()
+	}
+	_, delivered, dropped := m.Stats()
+	if dropped != 0 {
+		t.Fatalf("lossless medium dropped %d", dropped)
+	}
+	if int64(heard) != delivered {
+		t.Fatalf("handlers heard %d, medium counted %d", heard, delivered)
+	}
+}

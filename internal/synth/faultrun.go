@@ -193,6 +193,9 @@ func RunWithFaults(vm *varch.Machine, m *field.BinaryMap, cfg FaultConfig) (*Fau
 	phase(vm, "fault-labeling:end")
 	for _, inst := range insts {
 		res.RuleFirings += inst.Fired()
+		// res only keeps summaries pulled out of the Envs (which survive a
+		// Release), never the instances themselves, so they are recyclable.
+		inst.Release()
 	}
 	if res.Final != nil {
 		res.Coverage = float64(res.Final.CoveredCells()) / float64(g.N())

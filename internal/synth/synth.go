@@ -313,6 +313,9 @@ func RunOnMachineWithTransport(vm *varch.Machine, m *field.BinaryMap, transport 
 			}
 			res.RuleCoverage[i] += n
 		}
+		// The result only holds summaries (which survive a Release), never
+		// the instance or its Env, so the interpreter state is recyclable.
+		inst.Release()
 	}
 	if transportErr != nil {
 		return nil, transportErr

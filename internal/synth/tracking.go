@@ -183,6 +183,11 @@ func RunTrackingEpoch(vm *varch.Machine, strength func(c geom.Coord) float64) (*
 		est.Row = float64(wy) / float64(w)
 		est.Weight = float64(w) / 1000
 	}
+	// The moments have been copied out above; nothing retains the instances
+	// or their Envs past this point, so they go back to the pool.
+	for _, inst := range insts {
+		inst.Release()
+	}
 	return est, nil
 }
 

@@ -47,6 +47,14 @@ type Machine struct {
 	jitter    sim.Time
 	jitterRNG *rand.Rand
 
+	// freeVD recycles delivery records for the fault-free send paths, so the
+	// per-message cost of scheduling a delivery is one kernel event and zero
+	// heap allocations. Records owned by a node that crashes are cancelled
+	// inside the kernel and simply become garbage — CancelOwner cannot tell
+	// us, and leaking a handful of records on the (rare) crash path is
+	// cheaper than tracking them.
+	freeVD []*vdelivery
+
 	// Fault layer (see faults.go). alive == nil means no node has ever been
 	// killed — the common case, kept nil so the hot path pays one pointer
 	// compare.
@@ -190,7 +198,7 @@ func (vm *Machine) sendMsg(from, to geom.Coord, level int, size int64, payload a
 	if hops == 0 {
 		// Self-delivery crosses no radio: loss and ARQ do not apply, but the
 		// event is owned by the receiver so a crash still cancels it.
-		vm.kernel.AfterOwned(g.Index(to), vm.delay(0), func() { vm.deliver(to, msg, sentAt) })
+		vm.kernel.AfterOwned(g.Index(to), vm.delay(0), vm.newDelivery(to, msg, sentAt).fire)
 		return
 	}
 	if vm.loss == 0 && vm.burst == nil && !vm.reliable.Enabled() {
@@ -200,10 +208,43 @@ func (vm *Machine) sendMsg(from, to geom.Coord, level int, size int64, payload a
 		})
 		vm.hops += int64(hops)
 		base := sim.Time(hops) * sim.Time(vm.ledger.Model().TxLatency(size))
-		vm.kernel.AfterOwned(g.Index(to), vm.delay(base), func() { vm.deliver(to, msg, sentAt) })
+		vm.kernel.AfterOwned(g.Index(to), vm.delay(base), vm.newDelivery(to, msg, sentAt).fire)
 		return
 	}
 	vm.launch(&flight{from: from, to: to, level: level, size: size, msg: msg, sentAt: sentAt})
+}
+
+// vdelivery is a pooled in-flight delivery: the fields a delivery event
+// needs, with a fire func bound once at allocation so scheduling one costs
+// no closure. It recycles itself into the machine's free list before
+// invoking deliver, so cascading sends from inside a handler can reuse it
+// immediately.
+type vdelivery struct {
+	vm     *Machine
+	to     geom.Coord
+	msg    Message
+	sentAt sim.Time
+	fire   func()
+}
+
+func (vm *Machine) newDelivery(to geom.Coord, msg Message, sentAt sim.Time) *vdelivery {
+	var d *vdelivery
+	if n := len(vm.freeVD); n > 0 {
+		d = vm.freeVD[n-1]
+		vm.freeVD = vm.freeVD[:n-1]
+	} else {
+		d = &vdelivery{vm: vm}
+		d.fire = d.run
+	}
+	d.to, d.msg, d.sentAt = to, msg, sentAt
+	return d
+}
+
+func (d *vdelivery) run() {
+	vm, to, msg, sentAt := d.vm, d.to, d.msg, d.sentAt
+	d.msg = Message{}
+	vm.freeVD = append(vm.freeVD, d)
+	vm.deliver(to, msg, sentAt)
 }
 
 // SendToLeader is the group-communication primitive of Section 3.2: it
