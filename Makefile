@@ -28,15 +28,18 @@ test-short:
 race:
 	$(GO) test -race ./...
 
-# The event kernel, the radio medium, and the worker pool are where a
-# data race would silently break determinism, so they get a fresh
-# (-count=1, never cached) race pass on every check.
+# The event kernel, the radio medium, the worker pool, and the sharded
+# parallel kernel are where a data race would silently break
+# determinism, so they get a fresh (-count=1, never cached) race pass
+# on every check. The shard package includes a dedicated multi-worker
+# run (TestEngineRaceSmokeMultiWorker) exercising the window-barrier
+# inbox handoff under 2 and 4 workers.
 race-core:
-	$(GO) test -race -count=1 ./internal/sim/ ./internal/radio/ ./internal/parallel/
+	$(GO) test -race -count=1 ./internal/sim/ ./internal/radio/ ./internal/parallel/ ./internal/shard/
 
 # Micro-benchmarks only (-run=^$$ skips the unit tests), with allocation
 # counts; short benchtime keeps this a quick regression pass. Compare the
-# whole-experiment numbers against the committed BENCH_0.json baseline.
+# whole-experiment numbers against the committed BENCH_1.json baseline.
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run=^$$ .
 
@@ -61,17 +64,21 @@ cover:
 	END { exit bad }'
 
 # Refresh the committed per-experiment wall-time/alloc baseline.
+# -repeat 3 records min-of-3, which keeps scheduler noise on busy or
+# single-core hosts out of the committed numbers.
 bench-json:
-	$(GO) run ./cmd/benchtab -parallel 1 -bench-json BENCH_0.json > /dev/null
+	$(GO) run ./cmd/benchtab -parallel 1 -repeat 3 -bench-json BENCH_1.json > /dev/null
 
-# Perf gate: re-measure every experiment into BENCH_1.json and diff it
-# against the committed BENCH_0.json baseline; fails on any experiment
-# regressing more than 10% on wall time or mallocs.
+# Perf gate: re-measure every experiment into BENCH_2.json and diff it
+# against the committed BENCH_1.json baseline; fails on any experiment
+# regressing more than 10% on wall time or mallocs. The compare also
+# refuses (exit 2) when the two files were measured under different
+# worker/GOMAXPROCS/shard conditions, unless -force is given.
 bench-diff:
-	$(GO) run ./cmd/benchtab -parallel 1 -bench-json BENCH_1.json > /dev/null
-	$(GO) run ./cmd/benchtab -compare -tolerance 10 BENCH_0.json BENCH_1.json
+	$(GO) run ./cmd/benchtab -parallel 1 -repeat 3 -bench-json BENCH_2.json > /dev/null
+	$(GO) run ./cmd/benchtab -compare -tolerance 10 BENCH_1.json BENCH_2.json
 
-# Regenerate every experiment table (E1-E20, A1-A3).
+# Regenerate every experiment table (E1-E21, A1-A3).
 tables:
 	$(GO) run ./cmd/benchtab
 
@@ -89,6 +96,7 @@ fuzz:
 	$(GO) test -fuzz FuzzMediumConservation -fuzztime 30s ./internal/radio/
 	$(GO) test -fuzz FuzzDecode -fuzztime 30s ./internal/trace/
 	$(GO) test -fuzz FuzzRun -fuzztime 30s ./internal/trace/check/
+	$(GO) test -fuzz FuzzWindowBoundary -fuzztime 30s ./internal/shard/
 
 examples:
 	$(GO) run ./examples/quickstart

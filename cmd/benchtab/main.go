@@ -1,5 +1,5 @@
 // Command benchtab regenerates every experiment table of the reproduction
-// (E1–E20 plus the A-series ablations) and prints them in order. Run with
+// (E1–E21 plus the A-series ablations) and prints them in order. Run with
 // -quick for trimmed sweeps, -csv for machine-readable stdout, -out to also
 // write one CSV file per experiment, -only to select experiments by ID,
 // -parallel to bound the worker pool, or -bench-json to record per-experiment
@@ -47,11 +47,18 @@ type benchRecord struct {
 // benchReport is the -bench-json file layout. Metadata pins the conditions
 // the numbers were collected under so later runs compare like with like.
 type benchReport struct {
-	GoVersion  string        `json:"go_version"`
-	GOOS       string        `json:"goos"`
-	GOARCH     string        `json:"goarch"`
-	NumCPU     int           `json:"num_cpu"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	// GoMaxProcs and Shards pin the parallel-execution conditions: wall
+	// times measured under different scheduler widths or shard counts are
+	// not comparable, and -compare refuses to diff them without -force.
+	// Both are 0 in reports written before they were recorded, which
+	// -compare treats as unknown (warn, allow).
+	GoMaxProcs int           `json:"gomaxprocs,omitempty"`
 	Workers    int           `json:"workers"`
+	Shards     int           `json:"shards,omitempty"`
 	Quick      bool          `json:"quick"`
 	Records    []benchRecord `json:"records"`
 	TotalNanos int64         `json:"total_wall_ns"`
@@ -64,8 +71,11 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment IDs to run (e.g. E3,E8); empty runs all")
 	nworkers := flag.Int("parallel", 0, "worker pool size; 0 means GOMAXPROCS, 1 forces sequential")
 	benchJSON := flag.String("bench-json", "", "write per-experiment wall time and alloc counts to this JSON file")
+	repeat := flag.Int("repeat", 1, "in -bench-json mode, measure each experiment this many times and record the minimum (rejects scheduler noise)")
 	compare := flag.Bool("compare", false, "compare two -bench-json reports (OLD.json NEW.json) and exit nonzero on regressions")
 	tolerance := flag.Float64("tolerance", 10, "percent regression allowed per experiment (wall time, mallocs) in -compare mode")
+	shards := flag.Int("shards", 0, "shard count for the E21 scaling sweep; 0 runs its default (shards, workers) ladder")
+	force := flag.Bool("force", false, "in -compare mode, diff reports even when their worker/GOMAXPROCS/shard conditions differ")
 	flag.Parse()
 
 	if *compare {
@@ -73,7 +83,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchtab: -compare needs exactly two arguments: OLD.json NEW.json")
 			os.Exit(2)
 		}
-		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *tolerance))
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *tolerance, *force))
 	}
 
 	if *out != "" {
@@ -84,7 +94,7 @@ func main() {
 	}
 
 	pool := parallel.New(*nworkers)
-	opt := experiments.Options{Quick: *quick, Pool: pool}
+	opt := experiments.Options{Quick: *quick, Pool: pool, Shards: *shards}
 	all := []struct {
 		id  string
 		run func(experiments.Options) *stats.Table
@@ -109,6 +119,7 @@ func main() {
 		{"E18", experiments.E18ReliableDelivery},
 		{"E19", experiments.E19NetworkLifetime},
 		{"E20", experiments.E20DepletionARQ},
+		{"E21", experiments.E21ShardScaling},
 		{"A1", experiments.A1MappingAblation},
 		{"A2", experiments.A2FieldShapes},
 		{"A3", experiments.A3CostSensitivity},
@@ -134,12 +145,14 @@ func main() {
 	}
 
 	report := benchReport{
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		Workers:   pool.Workers(),
-		Quick:     *quick,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Workers:    pool.Workers(),
+		Shards:     *shards,
+		Quick:      *quick,
 	}
 
 	var tables []*stats.Table
@@ -149,20 +162,35 @@ func main() {
 		// single experiment instead of whichever goroutines were live.
 		tables = make([]*stats.Table, len(picked))
 		report.Records = make([]benchRecord, len(picked))
+		if *repeat < 1 {
+			*repeat = 1
+		}
 		start := time.Now()
 		for i, e := range picked {
-			var before, after runtime.MemStats
-			runtime.ReadMemStats(&before)
-			t0 := time.Now()
-			tables[i] = e.run(opt)
-			wall := time.Since(t0)
-			runtime.ReadMemStats(&after)
-			report.Records[i] = benchRecord{
-				ID:         e.id,
-				WallNanos:  wall.Nanoseconds(),
-				Mallocs:    after.Mallocs - before.Mallocs,
-				BytesAlloc: after.TotalAlloc - before.TotalAlloc,
+			// Min-of-N: the cleanest of -repeat runs is the one least
+			// disturbed by the scheduler, GC pauses, or co-tenants, so it is
+			// the honest estimate of what the experiment itself costs.
+			rec := benchRecord{ID: e.id}
+			for r := 0; r < *repeat; r++ {
+				var before, after runtime.MemStats
+				runtime.ReadMemStats(&before)
+				t0 := time.Now()
+				tables[i] = e.run(opt)
+				wall := time.Since(t0)
+				runtime.ReadMemStats(&after)
+				mallocs := after.Mallocs - before.Mallocs
+				bytesAlloc := after.TotalAlloc - before.TotalAlloc
+				if r == 0 || wall.Nanoseconds() < rec.WallNanos {
+					rec.WallNanos = wall.Nanoseconds()
+				}
+				if r == 0 || mallocs < rec.Mallocs {
+					rec.Mallocs = mallocs
+				}
+				if r == 0 || bytesAlloc < rec.BytesAlloc {
+					rec.BytesAlloc = bytesAlloc
+				}
 			}
+			report.Records[i] = rec
 		}
 		report.TotalNanos = time.Since(start).Nanoseconds()
 	} else {
@@ -233,13 +261,40 @@ func pctDelta(old, new float64) float64 {
 // teaches people to ignore it.
 const wallNoiseFloor = int64(time.Millisecond)
 
+// checkCondition enforces one like-with-like metadata field in -compare
+// mode: a mismatch refuses the comparison (exit 2) unless forced.
+// known says whether each report carries condition metadata at all
+// (GoMaxProcs > 0 — a report that predates the header fields decodes
+// them all to zero); an unknown side warns and proceeds, so old
+// baselines stay comparable, while a genuine 0 value (e.g. the default
+// -shards sweep) still mismatches a nonzero one.
+func checkCondition(name string, oldV, newV int, oldKnown, newKnown bool, oldPath, newPath string, force bool) bool {
+	if oldV == newV {
+		return true
+	}
+	if !oldKnown || !newKnown {
+		fmt.Fprintf(os.Stderr, "benchtab: warning: %s unknown in one report (%s: %d, %s: %d); comparing anyway\n",
+			name, oldPath, oldV, newPath, newV)
+		return true
+	}
+	if force {
+		fmt.Fprintf(os.Stderr, "benchtab: warning: comparing across %s counts (%s: %d, %s: %d) because -force\n",
+			name, oldPath, oldV, newPath, newV)
+		return true
+	}
+	fmt.Fprintf(os.Stderr, "benchtab: refusing to compare: %s has %s=%d, %s has %s=%d (wall times are not comparable; pass -force to override)\n",
+		oldPath, name, oldV, newPath, name, newV)
+	return false
+}
+
 // runCompare diffs two bench reports and returns the process exit code:
 // 0 when every shared experiment stays within tol percent on wall time and
 // mallocs, 1 when any regresses past it. Wall-time regressions additionally
 // need to exceed wallNoiseFloor in absolute terms. Experiments present in
 // only one report are listed but never fail the gate — the experiment set
-// is allowed to grow.
-func runCompare(oldPath, newPath string, tol float64) int {
+// is allowed to grow. Reports collected under different worker counts,
+// GOMAXPROCS, or shard counts are refused unless -force.
+func runCompare(oldPath, newPath string, tol float64, force bool) int {
 	oldRep, err := loadReport(oldPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
@@ -257,6 +312,12 @@ func runCompare(oldPath, newPath string, tol float64) int {
 	if oldRep.Quick != newRep.Quick {
 		fmt.Fprintf(os.Stderr, "benchtab: refusing to compare: %s has quick=%v, %s has quick=%v\n",
 			oldPath, oldRep.Quick, newPath, newRep.Quick)
+		return 2
+	}
+	oldKnown, newKnown := oldRep.GoMaxProcs > 0, newRep.GoMaxProcs > 0
+	if !checkCondition("workers", oldRep.Workers, newRep.Workers, oldKnown, newKnown, oldPath, newPath, force) ||
+		!checkCondition("gomaxprocs", oldRep.GoMaxProcs, newRep.GoMaxProcs, oldKnown, newKnown, oldPath, newPath, force) ||
+		!checkCondition("shards", oldRep.Shards, newRep.Shards, oldKnown, newKnown, oldPath, newPath, force) {
 		return 2
 	}
 

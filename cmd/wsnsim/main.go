@@ -9,7 +9,12 @@
 //
 //	wsnsim [-side 8] [-density 6] [-seed 1] [-field blobs|gradient|stripes]
 //	       [-thresh 0.5] [-engine des|lockstep|goroutine|physical] [-loss 0] [-retries 0]
-//	       [-trace 0] [-trace-out trace.jsonl] [-metrics]
+//	       [-shards 0] [-workers 0] [-trace 0] [-trace-out trace.jsonl] [-metrics]
+//
+// -shards opts the program-injection phase into the sharded parallel
+// kernel (internal/shard): the image dissemination runs on that many
+// spatial shards over -workers goroutines. The default 0 keeps the
+// sequential single-kernel engine; results are identical either way.
 package main
 
 import (
@@ -46,6 +51,8 @@ func main() {
 	engine := flag.String("engine", "des", "execution engine: des, lockstep, goroutine, or physical")
 	loss := flag.Float64("loss", 0, "message loss probability (goroutine engine only)")
 	retries := flag.Int("retries", 0, "stop-and-wait retransmissions per message (goroutine engine only)")
+	shards := flag.Int("shards", 0, "run program injection on this many spatial shards (0 = sequential kernel)")
+	workers := flag.Int("workers", 0, "goroutines driving the shards (0 = one per shard)")
 	traceN := flag.Int("trace", 0, "print the last N virtual-machine events (DES engine only)")
 	traceOut := flag.String("trace-out", "", "export the run's structured trace as JSONL to this file (des and physical engines)")
 	showMetrics := flag.Bool("metrics", false, "print the per-node metrics snapshot after the run (DES engine only)")
@@ -66,6 +73,23 @@ func main() {
 	}
 	fmt.Printf("deployment: %d nodes on %.0fx%.0f terrain, range %.1f, avg degree %.1f (%d attempts)\n",
 		nw.N(), grid.Terrain.Width(), grid.Terrain.Height(), txRange, nw.AvgDegree(), attempts)
+
+	// Program injection: ship the synthesized image to every node before
+	// the runtime-system protocols assume it. The sharded kernel is
+	// opt-in; its result is identical to the sequential engine by
+	// construction (internal/shard's oracle contract).
+	inj, err := emul.Disseminate(nw, emul.DisseminateConfig{
+		Shards: *shards, Workers: *workers,
+	})
+	if err != nil {
+		log.Fatalf("wsnsim: injection failed: %v", err)
+	}
+	engineName := "sequential kernel"
+	if *shards > 1 {
+		engineName = fmt.Sprintf("%d shards", *shards)
+	}
+	fmt.Printf("program injection (%s): %d/%d nodes reached at t=%d, energy %d units\n",
+		engineName, inj.Reached[0]+1, inj.Nodes, inj.Completion, emul.InjectionEnergy(inj))
 
 	// Runtime system: topology emulation + virtual-process binding.
 	physLedger := cost.NewLedger(cost.NewUniform(), nw.N())

@@ -1,0 +1,65 @@
+package emul
+
+import (
+	"fmt"
+
+	"wsnva/internal/cost"
+	"wsnva/internal/deploy"
+	"wsnva/internal/shard"
+)
+
+// DisseminateConfig parameterizes the runtime system's network-wide
+// program-injection phase (Section 5.1: shipping a synthesized program
+// image, or a retasking update, to every physical node before the
+// emulation protocols can run it). Shards and Workers are the opt-in
+// parallel path: the default (zero) values run today's single-kernel
+// engine; Shards > 1 runs the conservative-window sharded kernel, whose
+// results are identical by construction (see internal/shard).
+type DisseminateConfig struct {
+	// Origins are the injection points (gateway nodes); default node 0.
+	Origins []int
+	// ImageSize is the program image size in data units (default 8).
+	ImageSize int64
+	// Shards/Workers select the sharded kernel; both default to the
+	// sequential single-kernel path.
+	Shards  int
+	Workers int
+	// Crashed marks nodes that are down during injection (nil = none).
+	Crashed []bool
+	// Trace captures the canonical JSONL trace of the phase.
+	Trace bool
+}
+
+// Disseminate floods the program image from every origin concurrently
+// and reports the dissemination outcome. It is the phase a Machine
+// needs to have happened before New can assume every node knows its
+// role; the experiments use it standalone to measure injection cost at
+// scale.
+func Disseminate(nw *deploy.Network, cfg DisseminateConfig) (*shard.Result, error) {
+	origins := cfg.Origins
+	if origins == nil {
+		origins = []int{0}
+	}
+	size := cfg.ImageSize
+	if size == 0 {
+		size = 8
+	}
+	res, err := shard.Run(nw, shard.Config{
+		Shards:  cfg.Shards,
+		Workers: cfg.Workers,
+		Origins: origins,
+		PktSize: size,
+		Crashed: cfg.Crashed,
+		Trace:   cfg.Trace,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("emul: disseminate: %w", err)
+	}
+	return res, nil
+}
+
+// InjectionEnergy sums the dissemination bill — the Tx/Rx total every
+// node pays before the first virtual instruction executes. It exists so
+// whole-application accountings (E16-style) can include the injection
+// phase in the comparison.
+func InjectionEnergy(res *shard.Result) cost.Energy { return res.Total }

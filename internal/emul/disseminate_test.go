@@ -1,0 +1,40 @@
+package emul
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"wsnva/internal/deploy"
+	"wsnva/internal/geom"
+)
+
+func TestDisseminateShardedMatchesSequential(t *testing.T) {
+	terrain := geom.Rect{MinX: 0, MinY: 0, MaxX: 50, MaxY: 50}
+	nw := deploy.New(160, terrain, 10, deploy.UniformRandom{}, rand.New(rand.NewSource(4)))
+	if !nw.Connected() {
+		t.Fatal("deployment not connected")
+	}
+	cfg := DisseminateConfig{Origins: []int{0, 80, 159}, ImageSize: 8}
+	seq, err := Disseminate(nw, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every node holds the image from at least one origin.
+	for i, heard := range seq.Heard {
+		if heard == 0 {
+			t.Fatalf("node %d never received the program image", i)
+		}
+	}
+	if InjectionEnergy(seq) == 0 {
+		t.Fatal("injection phase billed nothing")
+	}
+	cfg.Shards, cfg.Workers = 4, 2
+	par, err := Disseminate(nw, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(par, seq) {
+		t.Fatalf("sharded dissemination diverges from sequential:\n got %+v\nwant %+v", par, seq)
+	}
+}

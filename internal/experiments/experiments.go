@@ -1,5 +1,5 @@
 // Package experiments implements the reproduction harness: one function per
-// experiment in DESIGN.md's per-experiment index (E1–E20 plus the A-series
+// experiment in DESIGN.md's per-experiment index (E1–E21 plus the A-series
 // ablations), each returning a printable table. cmd/benchtab prints them
 // all; bench_test.go wraps each in a testing.B benchmark; EXPERIMENTS.md
 // records the observed outputs against the paper's claims.
@@ -43,6 +43,12 @@ type Options struct {
 	// is byte-identical whatever the worker count — the determinism tests
 	// in parallel_test.go pin this.
 	Pool *parallel.Pool
+	// Shards, when positive, narrows the E21 scaling sweep to the pair
+	// {sequential oracle, Shards shards on a GOMAXPROCS pool} — the knob
+	// benchtab's -shards flag threads through (and records in the
+	// -bench-json header, since shard counts change what the wall-time
+	// numbers mean).
+	Shards int
 	// Trace, if non-nil, receives structured events from every engine the
 	// experiment drives (machines, ledgers, banks, media). Nil — the default
 	// and what benchtab uses — keeps every run untraced and byte-identical

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"wsnva/internal/deploy"
+	"wsnva/internal/geom"
+	"wsnva/internal/shard"
+	"wsnva/internal/stats"
+)
+
+// e21cfg is one execution strategy in the E21 sweep.
+type e21cfg struct{ shards, workers int }
+
+// E21ShardScaling measures the sharded parallel kernel (internal/shard)
+// against its single-kernel oracle: nodes × (shards, workers) versus
+// wall-clock and allocations, on the multi-source dissemination
+// workload. The checksum column witnesses that every configuration of a
+// grid computed the identical result — the speedup is never bought with
+// divergence.
+//
+// Unlike the other experiments the wall and malloc columns here are
+// measurements of this process, not simulation outputs, so the table is
+// not byte-deterministic and is excluded from the golden-table tests;
+// rows run sequentially (never on the options pool) so the readings
+// attribute to one configuration at a time. Shard-level parallelism
+// only buys wall time on multi-core hosts — on a single-core container
+// the sweep records the bookkeeping overhead instead; EXPERIMENTS.md
+// discusses the observed numbers.
+func E21ShardScaling(o Options) *stats.Table {
+	tab := stats.NewTable("E21: sharded kernel scaling — multi-source dissemination, conservative windows (lookahead = min radio delay)",
+		"nodes", "floods", "shards", "workers", "wall ms", "mallocs", "speedup", "checksum")
+
+	grids := []int{2000, 8000}
+	floods := 16
+	configs := []e21cfg{{1, 1}, {2, 2}, {4, 2}, {4, 4}, {8, 4}}
+	if o.Quick {
+		grids = []int{600}
+		floods = 8
+		configs = []e21cfg{{1, 1}, {4, 2}}
+	}
+	if o.Shards > 0 {
+		configs = []e21cfg{{1, 1}, {o.Shards, 0}}
+	}
+
+	for _, n := range grids {
+		nw := e21net(n)
+		var base float64
+		for i, c := range configs {
+			runtime.GC()
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			t0 := time.Now()
+			res, err := shard.Run(nw, shard.Config{
+				Shards: c.shards, Workers: c.workers,
+				Floods: floods, PktSize: 2,
+			})
+			wall := time.Since(t0)
+			runtime.ReadMemStats(&after)
+			if err != nil {
+				panic(fmt.Sprintf("experiments: E21 n=%d shards=%d: %v", n, c.shards, err))
+			}
+			ms := float64(wall.Nanoseconds()) / 1e6
+			if i == 0 {
+				base = ms
+			}
+			tab.AddRow(n, floods, c.shards, c.workers, ms,
+				int64(after.Mallocs-before.Mallocs),
+				stats.Ratio(base, ms),
+				fmt.Sprintf("%016x", res.Checksum()))
+		}
+	}
+	return tab
+}
+
+// e21net builds a constant-density deployment (about 12 neighbors per
+// node) for the scaling sweep, retrying seeds until the disk graph is
+// connected.
+func e21net(n int) *deploy.Network {
+	side := math.Sqrt(float64(n))
+	terrain := geom.Rect{MinX: 0, MinY: 0, MaxX: side, MaxY: side}
+	for seed := int64(1); seed <= 40; seed++ {
+		nw := deploy.New(n, terrain, 2, deploy.UniformRandom{}, rand.New(rand.NewSource(seed)))
+		if nw.Connected() {
+			return nw
+		}
+	}
+	panic(fmt.Sprintf("experiments: no connected %d-node deployment in 40 seeds", n))
+}

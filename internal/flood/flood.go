@@ -70,17 +70,26 @@ type Metrics struct {
 	Latency  sim.Time
 }
 
+// Start seeds a flood at origin — marks it seen, counts the origin's
+// forward, and broadcasts — without running the kernel, so callers that
+// interleave several floods (or drive the kernel in bounded windows)
+// can seed first and advance time on their own schedule. Each call uses
+// a fresh sequence number.
+func (f *Flooder) Start(origin int, size int64, payload any) {
+	seq := f.nextSeq
+	f.nextSeq++
+	f.seen[origin] = seq
+	f.forwards++
+	f.med.Broadcast(origin, size, floodMsg{seq: seq, payload: payload})
+}
+
 // Flood disseminates a payload of the given size from origin and runs the
 // kernel to quiescence. Each flood uses a fresh sequence number, so
 // repeated floods through the same Flooder work.
 func (f *Flooder) Flood(origin int, size int64, payload any) Metrics {
 	start := f.med.Kernel().Now()
 	baseF, baseI, baseR := f.forwards, f.ignored, f.reached
-	seq := f.nextSeq
-	f.nextSeq++
-	f.seen[origin] = seq
-	f.forwards++
-	f.med.Broadcast(origin, size, floodMsg{seq: seq, payload: payload})
+	f.Start(origin, size, payload)
 	f.med.Kernel().Run()
 	return Metrics{
 		Forwards: f.forwards - baseF,

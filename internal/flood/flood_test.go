@@ -91,3 +91,33 @@ func TestFloodCostScalesWithN(t *testing.T) {
 		t.Errorf("flood energy %d -> %d did not scale with density and size", small, big)
 	}
 }
+
+// TestStartMatchesFlood pins the Start/Flood split: seeding two floods
+// with Start and draining the kernel once must equal two sequential
+// Flood calls in totals (each flood still reaches everyone exactly once
+// thanks to per-flood sequence numbers).
+func TestStartMatchesFlood(t *testing.T) {
+	nwA, medA, _ := medium(t, 120, 7)
+	fa := New(medA)
+	m1 := fa.Flood(0, 2, "a")
+	m2 := fa.Flood(nwA.N()-1, 2, "b")
+
+	nwB, medB, _ := medium(t, 120, 7)
+	if nwB.N() != nwA.N() {
+		t.Fatal("deployment mismatch")
+	}
+	fb := New(medB)
+	fb.Start(0, 2, "a")
+	medB.Kernel().Run()
+	fb.Start(nwB.N()-1, 2, "b")
+	medB.Kernel().Run()
+	if fb.forwards != m1.Forwards+m2.Forwards {
+		t.Errorf("forwards %d, want %d", fb.forwards, m1.Forwards+m2.Forwards)
+	}
+	if fb.ignored != m1.Ignored+m2.Ignored {
+		t.Errorf("ignored %d, want %d", fb.ignored, m1.Ignored+m2.Ignored)
+	}
+	if fb.reached != m1.Reached+m2.Reached {
+		t.Errorf("reached %d, want %d", fb.reached, m1.Reached+m2.Reached)
+	}
+}

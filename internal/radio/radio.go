@@ -59,6 +59,21 @@ func (d UniformDelay) Delay(size int64, rng *rand.Rand) sim.Time {
 	return base
 }
 
+// MinDelayer is implemented by delay models that can state a lower
+// bound on every delivery delay they will ever produce. That bound is
+// the conservative lookahead of a parallel simulation: a sharded kernel
+// may safely advance all shards through a window of this width, because
+// nothing sent inside the window can arrive before the window ends.
+type MinDelayer interface {
+	// MinDelay returns the model's minimum delivery delay for any
+	// positive packet size.
+	MinDelay() sim.Time
+}
+
+// MinDelay implements MinDelayer: delay is monotone in size and jitter
+// only ever adds, so the floor is the one-unit transmission latency.
+func (d UniformDelay) MinDelay() sim.Time { return sim.Time(d.Model.TxLatency(1)) }
+
 // Medium is the shared broadcast channel. It is bound to one deployment,
 // one simulation kernel, one ledger, and one RNG; all are injected so
 // experiments stay deterministic.

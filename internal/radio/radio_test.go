@@ -337,3 +337,23 @@ func TestDeliveryPoolReuse(t *testing.T) {
 		t.Fatalf("handlers heard %d, medium counted %d", heard, delivered)
 	}
 }
+
+func TestMinDelayFloorsEveryDraw(t *testing.T) {
+	model := cost.NewUniform()
+	for _, jitter := range []sim.Time{0, 3} {
+		d := UniformDelay{Model: model, Jitter: jitter}
+		var _ MinDelayer = d
+		floor := d.MinDelay()
+		if floor != 1 {
+			t.Fatalf("uniform model min delay = %d, want 1", floor)
+		}
+		rng := rand.New(rand.NewSource(9))
+		for size := int64(1); size <= 6; size++ {
+			for i := 0; i < 50; i++ {
+				if got := d.Delay(size, rng); got < floor {
+					t.Fatalf("delay %d for size %d beats the floor %d", got, size, floor)
+				}
+			}
+		}
+	}
+}

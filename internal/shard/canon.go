@@ -1,0 +1,71 @@
+package shard
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"wsnva/internal/trace"
+)
+
+// canonicalEvents puts a trace into canonical form: sorted by every
+// payload field (everything except Seq), then re-stamped with ascending
+// sequence numbers. Two runs that emitted the same multiset of events —
+// in any order — canonicalize to identical slices, which is how a
+// sharded run's per-shard tracers merge into something byte-comparable
+// against the oracle's single trace. The comparator is total over
+// distinct events, and identical duplicates are interchangeable, so the
+// result does not depend on the input order at all.
+func canonicalEvents(evs []trace.Event) []trace.Event {
+	sort.Slice(evs, func(i, j int) bool { return eventLess(&evs[i], &evs[j]) })
+	for i := range evs {
+		evs[i].Seq = int64(i)
+	}
+	return evs
+}
+
+func eventLess(a, b *trace.Event) bool {
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	if a.ID != b.ID {
+		return a.ID < b.ID
+	}
+	if a.Peer != b.Peer {
+		return a.Peer < b.Peer
+	}
+	if a.Bytes != b.Bytes {
+		return a.Bytes < b.Bytes
+	}
+	if a.Detail != b.Detail {
+		return a.Detail < b.Detail
+	}
+	if a.Node != b.Node {
+		return a.Node < b.Node
+	}
+	if a.Col != b.Col {
+		return a.Col < b.Col
+	}
+	if a.Row != b.Row {
+		return a.Row < b.Row
+	}
+	if a.PeerCol != b.PeerCol {
+		return a.PeerCol < b.PeerCol
+	}
+	if a.PeerRow != b.PeerRow {
+		return a.PeerRow < b.PeerRow
+	}
+	return a.Level < b.Level
+}
+
+// encodeCanonical renders canonical events as deterministic JSONL.
+func encodeCanonical(evs []trace.Event) ([]byte, error) {
+	var b bytes.Buffer
+	if err := trace.Encode(&b, canonicalEvents(evs)); err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+	return b.Bytes(), nil
+}

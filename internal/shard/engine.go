@@ -1,0 +1,359 @@
+package shard
+
+import (
+	"fmt"
+	"strconv"
+
+	"wsnva/internal/cost"
+	"wsnva/internal/deploy"
+	"wsnva/internal/parallel"
+	"wsnva/internal/sim"
+	"wsnva/internal/trace"
+)
+
+// xmsg is one cross-shard delivery in flight: queued into the sender
+// shard's outbox row during a window, injected into the destination
+// shard's kernel at the next barrier.
+type xmsg struct {
+	at   sim.Time
+	from int32
+	to   int32
+	size int64
+	key  int64
+}
+
+// engine runs one simulation across S spatial shards in conservative
+// time windows. Each window [T, T+L) with L = lookahead proceeds as:
+//
+//  1. Barrier (sequential): swap the double-buffered outbox matrices and
+//     compute T = the minimum pending timestamp across every shard
+//     kernel and every in-flight cross-shard message.
+//  2. Parallel phase (parallel.ForEach over shards): each shard injects
+//     the messages addressed to it from the previous window into its own
+//     kernel, then fires everything with timestamp ≤ T+L−1.
+//
+// Safety: any message generated during a window has delivery time
+// ≥ sendTime + L ≥ windowEnd, so barrier injection never lands in a
+// destination shard's executed past, and within a shard the ladder
+// queue's (time, seq) order is untouched. The double buffering gives
+// the exchange its happens-before edges for free: a window only reads
+// outbox rows that were completely written before the previous
+// ForEach's WaitGroup barrier.
+type engine struct {
+	nw        *deploy.Network
+	st        *State
+	part      *Partition
+	model     *cost.Model
+	lookahead sim.Time
+	pool      *parallel.Pool
+	shards    []*shardRun
+	// cur[src][dst] collects messages sent by shard src to shard dst in
+	// the running window; prev holds the previous window's sends and is
+	// drained (and reset) by the destination shards at injection time.
+	cur  [][][]xmsg
+	prev [][][]xmsg
+}
+
+// shardRun is one shard's private execution state: its kernel, ledger,
+// tracer, app instance, and stat counters. Everything here is touched
+// only by the goroutine running the shard's window (plus the sequential
+// barrier), so none of it needs locks.
+type shardRun struct {
+	eng    *engine
+	id     int
+	kern   *sim.Kernel
+	ledger *cost.Ledger
+	tracer *trace.Tracer
+	app    app
+	nodes  []int32
+
+	sent      int64
+	delivered int64
+	dropped   int64
+	last      sim.Time // time of the last event this shard fired
+
+	freeFan []*fanout
+}
+
+// fanout is a pooled local delivery event: one kernel event delivering
+// a packet to every same-shard receiver in ascending ID order, exactly
+// mirroring radio.Medium's pooled delivery records.
+type fanout struct {
+	s    *shardRun
+	from int32
+	size int64
+	key  int64
+	to   []int32
+	fire func()
+}
+
+func newEngine(nw *deploy.Network, st *State, part *Partition, model *cost.Model,
+	lookahead sim.Time, pool *parallel.Pool, mkApp func(shard int) app, traceCap int) *engine {
+	if lookahead < 1 {
+		panic(fmt.Sprintf("shard: lookahead %d must be at least one time unit", lookahead))
+	}
+	s := part.Shards
+	e := &engine{
+		nw:        nw,
+		st:        st,
+		part:      part,
+		model:     model,
+		lookahead: lookahead,
+		pool:      pool,
+		shards:    make([]*shardRun, s),
+		cur:       makeOutbox(s),
+		prev:      makeOutbox(s),
+	}
+	for i := 0; i < s; i++ {
+		sr := &shardRun{
+			eng:    e,
+			id:     i,
+			kern:   sim.New(),
+			ledger: cost.NewLedger(model, nw.N()),
+			nodes:  part.Members[i],
+		}
+		if traceCap > 0 {
+			sr.tracer = trace.New(traceCap)
+		}
+		sr.app = mkApp(i)
+		e.shards[i] = sr
+	}
+	return e
+}
+
+func makeOutbox(s int) [][][]xmsg {
+	box := make([][][]xmsg, s)
+	for i := range box {
+		box[i] = make([][]xmsg, s)
+	}
+	return box
+}
+
+// run executes the whole simulation and returns the completion time:
+// the timestamp of the last event fired by any shard.
+func (e *engine) run(crashed []bool) sim.Time {
+	for i, dead := range crashed {
+		if dead {
+			e.st.Alive[i] = false
+			sr := e.shards[e.part.Owner[i]]
+			if sr.tracer != nil {
+				sr.emit(trace.Death, i, -1, 0, "radio off")
+			}
+		}
+	}
+	// Start phase: every app boots its owned nodes at time 0, writing
+	// only owner-shard state and its own outbox row.
+	parallel.ForEach(e.pool, len(e.shards), func(i int) {
+		sr := e.shards[i]
+		for _, n := range sr.nodes {
+			sr.app.start(sr, int(n))
+		}
+	})
+	for {
+		e.cur, e.prev = e.prev, e.cur
+		t, ok := e.nextTime()
+		if !ok {
+			break
+		}
+		deadline := t + e.lookahead - 1
+		parallel.ForEach(e.pool, len(e.shards), func(i int) {
+			sr := e.shards[i]
+			sr.inject()
+			sr.kern.RunUntil(deadline)
+		})
+	}
+	var completion sim.Time
+	for _, sr := range e.shards {
+		if sr.last > completion {
+			completion = sr.last
+		}
+	}
+	return completion
+}
+
+// nextTime returns the earliest pending timestamp across all shard
+// kernels and all messages awaiting injection, run at the barrier.
+func (e *engine) nextTime() (sim.Time, bool) {
+	var t sim.Time
+	found := false
+	for _, sr := range e.shards {
+		if at, ok := sr.kern.NextAt(); ok && (!found || at < t) {
+			t, found = at, true
+		}
+	}
+	for src := range e.prev {
+		for dst := range e.prev[src] {
+			for _, m := range e.prev[src][dst] {
+				if !found || m.at < t {
+					t, found = m.at, true
+				}
+			}
+		}
+	}
+	return t, found
+}
+
+// inject schedules every message addressed to this shard from the
+// previous window, in ascending source-shard order (then send order
+// within a source) so event sequence numbers are a deterministic
+// function of the exchange, and resets the drained rows for reuse.
+func (s *shardRun) inject() {
+	e := s.eng
+	for src := range e.prev {
+		box := e.prev[src][s.id]
+		for _, m := range box {
+			m := m
+			s.kern.At(m.at, func() {
+				s.last = s.kern.Now()
+				s.deliver(int(m.to), int(m.from), m.size, m.key)
+			})
+		}
+		e.prev[src][s.id] = box[:0]
+	}
+}
+
+// broadcast implements fabric: charge the sender, split the fan-out
+// into one pooled local delivery event plus per-destination outbox
+// entries, all at sendTime + TxLatency(size).
+func (s *shardRun) broadcast(from int, size, key int64) int {
+	if size <= 0 {
+		panic(fmt.Sprintf("shard: packet size %d must be positive", size))
+	}
+	st := s.eng.st
+	if !st.Alive[from] {
+		return 0
+	}
+	s.sent++
+	s.ledger.Charge(from, cost.Tx, size)
+	if s.tracer != nil {
+		s.emit(trace.Tx, from, -1, size, "broadcast")
+	}
+	at := s.kern.Now() + sim.Time(s.eng.model.TxLatency(size))
+	owner := s.eng.part.Owner
+	var local *fanout
+	nbrs := s.eng.nw.Neighbors(from)
+	for _, nbr := range nbrs {
+		if dst := owner[nbr]; int(dst) == s.id {
+			if local == nil {
+				local = s.newFanout(int32(from), size, key)
+			}
+			local.to = append(local.to, int32(nbr))
+		} else {
+			s.eng.cur[s.id][dst] = append(s.eng.cur[s.id][dst],
+				xmsg{at: at, from: int32(from), to: int32(nbr), size: size, key: key})
+		}
+	}
+	if local != nil {
+		s.kern.At(at, local.fire)
+	}
+	return len(nbrs)
+}
+
+func (s *shardRun) newFanout(from int32, size, key int64) *fanout {
+	if n := len(s.freeFan); n > 0 {
+		f := s.freeFan[n-1]
+		s.freeFan[n-1] = nil
+		s.freeFan = s.freeFan[:n-1]
+		f.from, f.size, f.key = from, size, key
+		return f
+	}
+	f := &fanout{s: s, from: from, size: size, key: key}
+	f.fire = f.run
+	return f
+}
+
+func (f *fanout) run() {
+	s := f.s
+	s.last = s.kern.Now()
+	for _, to := range f.to {
+		s.deliver(int(to), int(f.from), f.size, f.key)
+	}
+	f.to = f.to[:0]
+	s.freeFan = append(s.freeFan, f)
+}
+
+// deliver lands one packet at a receiver this shard owns: liveness is
+// judged at delivery time exactly as radio.Medium does, the receiver is
+// charged Rx, and the packet joins the node's pending batch with a wake
+// scheduled at the current instant.
+func (s *shardRun) deliver(to, from int, size, key int64) {
+	st := s.eng.st
+	if !st.Alive[to] {
+		s.dropped++
+		if s.tracer != nil {
+			s.emit(trace.Drop, to, from, size, "dead receiver")
+		}
+		return
+	}
+	s.delivered++
+	s.ledger.Charge(to, cost.Rx, size)
+	if s.tracer != nil {
+		s.emit(trace.Rx, to, from, size, "")
+	}
+	st.pend[to] = append(st.pend[to], Packet{From: from, Size: size, Key: key})
+	s.scheduleWake(to)
+}
+
+// scheduleWake arms at most one wake event per node per instant. The
+// wake is scheduled during the first delivery at this time, so its
+// sequence number exceeds every already-queued event at the same
+// timestamp — and since every delivery at time t is queued before any
+// t-event fires (local sends have latency ≥ 1, cross-shard sends are
+// injected at the barrier), the wake always fires after the node's
+// entire batch has accumulated. The oracle path makes the identical
+// argument over the single kernel, which is why both engines hand the
+// app the same batches.
+func (s *shardRun) scheduleWake(n int) {
+	st := s.eng.st
+	if st.wakePending[n] {
+		return
+	}
+	st.wakePending[n] = true
+	s.kern.After(0, func() { s.runWake(n) })
+}
+
+func (s *shardRun) runWake(n int) {
+	s.last = s.kern.Now()
+	st := s.eng.st
+	st.wakePending[n] = false
+	timer := st.timerFired[n]
+	st.timerFired[n] = false
+	pkts := st.pend[n]
+	sortPackets(pkts)
+	s.app.wake(s, n, pkts, timer)
+	st.pend[n] = pkts[:0]
+}
+
+func (s *shardRun) now() sim.Time { return s.kern.Now() }
+
+func (s *shardRun) wakeAfter(n int, d sim.Time) sim.Time {
+	if d <= 0 {
+		panic(fmt.Sprintf("shard: wake delay %d must be positive", d))
+	}
+	st := s.eng.st
+	if st.timerSet[n] {
+		panic(fmt.Sprintf("shard: node %d already has a pending timer", n))
+	}
+	st.timerSet[n] = true
+	at := s.kern.Now() + d
+	s.kern.After(d, func() {
+		s.last = s.kern.Now()
+		st.timerSet[n] = false
+		st.timerFired[n] = true
+		s.scheduleWake(n)
+	})
+	return at
+}
+
+// emit mirrors radio.Medium's structured-event shape field for field,
+// so canonicalized sharded traces are byte-identical to oracle traces.
+func (s *shardRun) emit(kind trace.Kind, node, peer int, size int64, detail string) {
+	e := trace.Event{At: s.kern.Now(), Kind: kind,
+		Node: "#" + strconv.Itoa(node), ID: node,
+		Col: -1, Row: -1, PeerCol: -1, PeerRow: -1,
+		Bytes: size, Detail: detail}
+	if peer >= 0 {
+		e.Peer = "#" + strconv.Itoa(peer)
+	}
+	s.tracer.EmitEvent(e)
+}

@@ -1,0 +1,120 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wsnva/internal/cost"
+	"wsnva/internal/deploy"
+	"wsnva/internal/radio"
+	"wsnva/internal/sim"
+	"wsnva/internal/trace"
+)
+
+// singleFab is the differential oracle: the same app API implemented
+// over today's engine — one sim.Kernel driving an unmodified
+// radio.Medium. A sharded run with any shard count must match this path
+// bit for bit; the property tests in quick_test.go hold it to that.
+//
+// The medium's RNG is never consumed because the oracle runs the
+// deterministic fast path (Loss = 0, jitter-free UniformDelay); loss
+// and jitter draw from one shared stream and are therefore inherently
+// order-dependent across shardings, so the sharded kernel does not
+// support them.
+type singleFab struct {
+	med    *radio.Medium
+	st     *State
+	app    app
+	tracer *trace.Tracer
+}
+
+func newSingleFab(nw *deploy.Network, st *State, model *cost.Model, traceCap int) *singleFab {
+	kern := sim.New()
+	ledger := cost.NewLedger(model, nw.N())
+	med := radio.NewMedium(nw, kern, ledger, rand.New(rand.NewSource(1)), radio.Config{})
+	f := &singleFab{med: med, st: st}
+	if traceCap > 0 {
+		f.tracer = trace.New(traceCap)
+		med.SetTracer(f.tracer)
+	}
+	return f
+}
+
+// run boots every node, drains the kernel, and returns the completion
+// time (the timestamp of the last fired event).
+func (f *singleFab) run(a app, crashed []bool) sim.Time {
+	f.app = a
+	n := f.med.Network().N()
+	for i, dead := range crashed {
+		if dead {
+			f.med.Kill(i)
+			f.st.Alive[i] = false
+		}
+	}
+	for id := 0; id < n; id++ {
+		id := id
+		f.med.Handle(id, func(pkt radio.Packet) { f.onPacket(id, pkt) })
+	}
+	for id := 0; id < n; id++ {
+		a.start(f, id)
+	}
+	return f.med.Kernel().Run()
+}
+
+func (f *singleFab) now() sim.Time { return f.med.Kernel().Now() }
+
+func (f *singleFab) broadcast(from int, size, key int64) int {
+	if size <= 0 {
+		panic(fmt.Sprintf("shard: packet size %d must be positive", size))
+	}
+	return f.med.Broadcast(from, size, key)
+}
+
+func (f *singleFab) wakeAfter(n int, d sim.Time) sim.Time {
+	if d <= 0 {
+		panic(fmt.Sprintf("shard: wake delay %d must be positive", d))
+	}
+	if f.st.timerSet[n] {
+		panic(fmt.Sprintf("shard: node %d already has a pending timer", n))
+	}
+	f.st.timerSet[n] = true
+	kern := f.med.Kernel()
+	at := kern.Now() + d
+	kern.After(d, func() {
+		f.st.timerSet[n] = false
+		f.st.timerFired[n] = true
+		f.scheduleWake(n)
+	})
+	return at
+}
+
+// onPacket buffers a delivery into the node's batch and arms the wake,
+// mirroring shardRun.deliver after the medium has already done the
+// liveness check, the Rx charge, and the trace emission.
+func (f *singleFab) onPacket(id int, pkt radio.Packet) {
+	key, ok := pkt.Payload.(int64)
+	if !ok {
+		panic(fmt.Sprintf("shard: oracle received foreign payload %T", pkt.Payload))
+	}
+	f.st.pend[id] = append(f.st.pend[id], Packet{From: pkt.From, Size: pkt.Size, Key: key})
+	f.scheduleWake(id)
+}
+
+func (f *singleFab) scheduleWake(n int) {
+	if f.st.wakePending[n] {
+		return
+	}
+	f.st.wakePending[n] = true
+	f.med.Kernel().After(0, func() { f.runWake(n) })
+}
+
+func (f *singleFab) runWake(n int) {
+	st := f.st
+	st.wakePending[n] = false
+	timer := st.timerFired[n]
+	st.timerFired[n] = false
+	pkts := st.pend[n]
+	sortPackets(pkts)
+	f.app.wake(f, n, pkts, timer)
+	st.pend[n] = pkts[:0]
+}

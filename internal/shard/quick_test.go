@@ -1,0 +1,89 @@
+package shard
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"wsnva/internal/deploy"
+	"wsnva/internal/geom"
+)
+
+// TestQuickDifferential is the satellite property test: for random
+// small grids, random seeds, random workloads, and shard counts in
+// {1, 2, 4}, the sharded run's output and JSONL trace are byte-identical
+// to the single-machine oracle.
+func TestQuickDifferential(t *testing.T) {
+	count := 30
+	if testing.Short() {
+		count = 8
+	}
+	prop := func(seed uint32) bool {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		n := 25 + rng.Intn(46) // 25..70 nodes
+		nw := connectedNet(t, n, rng)
+
+		floods := 1 + rng.Intn(4)
+		origins := make([]int, floods)
+		for j := range origins {
+			origins[j] = rng.Intn(n)
+		}
+		var crashed []bool
+		if rng.Intn(2) == 1 {
+			crashed = make([]bool, n)
+			for i := range crashed {
+				crashed[i] = rng.Float64() < 0.1
+			}
+		}
+		cfg := Config{
+			Origins: origins,
+			PktSize: 1 + int64(rng.Intn(4)),
+			Crashed: crashed,
+			Trace:   true,
+		}
+		oracle, err := Run(nw, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range []int{1, 2, 4} {
+			c := cfg
+			c.Shards = shards
+			c.Workers = 1 + rng.Intn(3)
+			got, err := Run(nw, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got.Trace, oracle.Trace) {
+				t.Logf("seed=%d shards=%d: trace diverges (%d vs %d bytes)",
+					seed, shards, len(got.Trace), len(oracle.Trace))
+				return false
+			}
+			if !reflect.DeepEqual(got, oracle) {
+				t.Logf("seed=%d shards=%d: result diverges", seed, shards)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: count}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// connectedNet builds a small random deployment, redrawing until the
+// disk graph is connected (dense parameters make the first draw succeed
+// almost always).
+func connectedNet(t *testing.T, n int, rng *rand.Rand) *deploy.Network {
+	t.Helper()
+	terrain := geom.Rect{MinX: 0, MinY: 0, MaxX: 30, MaxY: 30}
+	for attempt := 0; attempt < 50; attempt++ {
+		nw := deploy.New(n, terrain, 9, deploy.UniformRandom{}, rng)
+		if nw.Connected() {
+			return nw
+		}
+	}
+	t.Fatalf("no connected %d-node deployment in 50 attempts", n)
+	return nil
+}

@@ -1,0 +1,299 @@
+package shard
+
+import (
+	"fmt"
+
+	"wsnva/internal/cost"
+	"wsnva/internal/deploy"
+	"wsnva/internal/parallel"
+	"wsnva/internal/radio"
+	"wsnva/internal/sim"
+	"wsnva/internal/trace"
+)
+
+// Config selects the workload and the execution strategy for a sharded
+// run. The zero value (plus a deployment) is a valid single-flood,
+// single-shard run on the paper's uniform cost model.
+type Config struct {
+	// Shards is the number of spatial tiles; <= 1 selects the
+	// single-kernel oracle path (today's engine, unmodified).
+	Shards int
+	// Workers bounds the parallel.Pool driving the shards; <= 0 means
+	// GOMAXPROCS. Ignored on the oracle path.
+	Workers int
+
+	// Floods is the number of concurrent floods K (default 1, max 64)
+	// with origins spread evenly over the ID space; Origins overrides
+	// the placement explicitly (its length is then K).
+	Floods  int
+	Origins []int
+	// PktSize is the flooded payload size in data units (default 2,
+	// must be positive — zero-size packets have zero latency and would
+	// break the conservative lookahead).
+	PktSize int64
+
+	// Crashed marks nodes whose radio is off from the start (fail-stop
+	// before time zero). Nil means all alive; otherwise length N.
+	Crashed []bool
+
+	// Capacity is the per-node energy budget used to fill the SoA
+	// Battery field after the run (remaining = capacity − spent). It is
+	// pure accounting: sharded runs never fail-stop on depletion.
+	Capacity cost.Energy
+
+	// Trace enables canonical JSONL trace capture in Result.Trace.
+	Trace bool
+
+	// Model overrides the cost model (default: the paper's uniform
+	// model).
+	Model *cost.Model
+}
+
+// Result is the outcome of a run. Everything in it is a deterministic
+// function of the deployment and the workload alone — the same for
+// every shard and worker count — which the differential property tests
+// enforce against the oracle.
+type Result struct {
+	Nodes  int
+	Floods int
+	// Origins[j] is flood j's origin node.
+	Origins []int
+	// Reached[j] counts nodes that received flood j (origin excluded).
+	Reached []int64
+	// Forwards and Ignored are the dissemination totals across floods:
+	// broadcasts performed and duplicate receptions suppressed.
+	Forwards int64
+	Ignored  int64
+	// Radio totals: broadcasts initiated, per-neighbor deliveries,
+	// per-neighbor drops (dead receivers).
+	Sent      int64
+	Delivered int64
+	Dropped   int64
+	// Completion is the timestamp of the last event fired.
+	Completion sim.Time
+	// Energy is the per-node energy spend; Total its sum.
+	Energy []cost.Energy
+	Total  cost.Energy
+	// SoA views of the final node state (aliases into the run's State).
+	Heard   []uint64
+	Level   []int32
+	FirstAt []sim.Time
+	Battery []int64
+	// Trace is the canonical JSONL trace (nil unless Config.Trace).
+	Trace []byte
+}
+
+// Checksum digests every result field into one FNV-1a value, so
+// experiment tables can print a compact witness that different shard
+// and worker counts computed the same answer.
+func (r *Result) Checksum() uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for shift := 0; shift < 64; shift += 8 {
+			h ^= (v >> shift) & 0xff
+			h *= prime64
+		}
+	}
+	mix(uint64(r.Nodes))
+	mix(uint64(r.Floods))
+	for _, o := range r.Origins {
+		mix(uint64(o))
+	}
+	for _, v := range r.Reached {
+		mix(uint64(v))
+	}
+	mix(uint64(r.Forwards))
+	mix(uint64(r.Ignored))
+	mix(uint64(r.Sent))
+	mix(uint64(r.Delivered))
+	mix(uint64(r.Dropped))
+	mix(uint64(r.Completion))
+	for _, e := range r.Energy {
+		mix(uint64(e))
+	}
+	for _, v := range r.Heard {
+		mix(v)
+	}
+	for _, v := range r.Level {
+		mix(uint64(v))
+	}
+	for _, v := range r.FirstAt {
+		mix(uint64(v))
+	}
+	for _, v := range r.Battery {
+		mix(uint64(v))
+	}
+	for _, b := range r.Trace {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}
+
+// runStats is what both execution paths report back to Run.
+type runStats struct {
+	sent       int64
+	delivered  int64
+	dropped    int64
+	completion sim.Time
+	ledger     *cost.Ledger
+	events     []trace.Event
+	lost       int64
+}
+
+// execute runs mkApp's protocol over the oracle (part == nil) or the
+// sharded engine. mkApp is called once per shard (once total on the
+// oracle path), sequentially, in shard order.
+func execute(nw *deploy.Network, st *State, model *cost.Model, part *Partition,
+	pool *parallel.Pool, mkApp func(shard int) app, crashed []bool, traceCap int) runStats {
+	if part == nil {
+		fab := newSingleFab(nw, st, model, traceCap)
+		completion := fab.run(mkApp(0), crashed)
+		sent, delivered, dropped := fab.med.Stats()
+		return runStats{
+			sent: sent, delivered: delivered, dropped: dropped,
+			completion: completion,
+			ledger:     fab.med.Ledger(),
+			events:     fab.tracer.Events(),
+			lost:       fab.tracer.Lost(),
+		}
+	}
+	lookahead := radio.UniformDelay{Model: model}.MinDelay()
+	eng := newEngine(nw, st, part, model, lookahead, pool, mkApp, traceCap)
+	rs := runStats{
+		completion: eng.run(crashed),
+		ledger:     cost.NewLedger(model, nw.N()),
+	}
+	for _, sr := range eng.shards {
+		rs.sent += sr.sent
+		rs.delivered += sr.delivered
+		rs.dropped += sr.dropped
+		rs.ledger.Add(sr.ledger)
+		rs.events = append(rs.events, sr.tracer.Events()...)
+		rs.lost += sr.tracer.Lost()
+	}
+	return rs
+}
+
+// Run executes the multi-source dissemination workload over nw and
+// returns its result. Shards <= 1 runs the single-kernel oracle;
+// larger counts run the conservative-window parallel engine. Both
+// produce identical Results — including byte-identical traces — for
+// the same deployment and workload.
+func Run(nw *deploy.Network, cfg Config) (*Result, error) {
+	n := nw.N()
+	if n == 0 {
+		return nil, fmt.Errorf("shard: empty deployment")
+	}
+	model := cfg.Model
+	if model == nil {
+		model = cost.NewUniform()
+	}
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	size := cfg.PktSize
+	if size == 0 {
+		size = 2
+	}
+	if size < 0 {
+		return nil, fmt.Errorf("shard: packet size %d must be positive", size)
+	}
+	origins := cfg.Origins
+	if origins == nil {
+		k := cfg.Floods
+		if k == 0 {
+			k = 1
+		}
+		if k < 0 {
+			return nil, fmt.Errorf("shard: flood count %d must be positive", k)
+		}
+		origins = make([]int, k)
+		for j := range origins {
+			origins[j] = j * n / k
+		}
+	}
+	k := len(origins)
+	if k == 0 || k > 64 {
+		return nil, fmt.Errorf("shard: flood count %d out of [1,64] (Heard is a 64-bit mask)", k)
+	}
+	if cfg.Floods != 0 && cfg.Origins != nil && cfg.Floods != k {
+		return nil, fmt.Errorf("shard: Floods=%d disagrees with %d explicit origins", cfg.Floods, k)
+	}
+	originMask := make([]uint64, n)
+	for j, o := range origins {
+		if o < 0 || o >= n {
+			return nil, fmt.Errorf("shard: origin %d out of range [0,%d)", o, n)
+		}
+		originMask[o] |= 1 << uint(j)
+	}
+	if cfg.Crashed != nil && len(cfg.Crashed) != n {
+		return nil, fmt.Errorf("shard: crash mask covers %d nodes, network has %d", len(cfg.Crashed), n)
+	}
+
+	st := NewState(nw)
+	traceCap := 0
+	if cfg.Trace {
+		// Exact upper bound on emitted events: each node forwards each
+		// flood at most once, and one broadcast emits one Tx plus one
+		// Rx-or-Drop per neighbor; add one potential Death per node.
+		sumDeg := 0
+		for i := 0; i < n; i++ {
+			sumDeg += nw.Degree(i)
+		}
+		traceCap = k*(n+sumDeg) + n + 1
+	}
+	var apps []*dissApp
+	mk := func(int) app {
+		a := newDissApp(st, originMask, k, size)
+		apps = append(apps, a)
+		return a
+	}
+	var rs runStats
+	if cfg.Shards <= 1 {
+		rs = execute(nw, st, model, nil, nil, mk, cfg.Crashed, traceCap)
+	} else {
+		part := NewPartition(nw, cfg.Shards)
+		pool := parallel.New(cfg.Workers)
+		rs = execute(nw, st, model, part, pool, mk, cfg.Crashed, traceCap)
+	}
+	if rs.lost > 0 {
+		return nil, fmt.Errorf("shard: trace ring overflowed, %d events lost", rs.lost)
+	}
+	agg := apps[0]
+	for _, a := range apps[1:] {
+		agg.fold(a)
+	}
+
+	res := &Result{
+		Nodes:      n,
+		Floods:     k,
+		Origins:    append([]int(nil), origins...),
+		Reached:    agg.reached,
+		Forwards:   agg.forwards,
+		Ignored:    agg.ignored,
+		Sent:       rs.sent,
+		Delivered:  rs.delivered,
+		Dropped:    rs.dropped,
+		Completion: rs.completion,
+		Energy:     make([]cost.Energy, n),
+		Heard:      st.Heard,
+		Level:      st.Level,
+		FirstAt:    st.FirstAt,
+		Battery:    st.Battery,
+	}
+	for i := range res.Energy {
+		e := rs.ledger.Energy(i)
+		res.Energy[i] = e
+		res.Total += e
+		st.Battery[i] = int64(cfg.Capacity) - int64(e)
+	}
+	if cfg.Trace {
+		var err error
+		if res.Trace, err = encodeCanonical(rs.events); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,186 @@
+package shard
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"wsnva/internal/cost"
+	"wsnva/internal/deploy"
+	"wsnva/internal/flood"
+	"wsnva/internal/geom"
+	"wsnva/internal/radio"
+	"wsnva/internal/sim"
+)
+
+func testNet(t testing.TB, n int, side, rng float64, seed int64) *deploy.Network {
+	t.Helper()
+	terrain := geom.Rect{MinX: 0, MinY: 0, MaxX: side, MaxY: side}
+	nw := deploy.New(n, terrain, rng, deploy.UniformRandom{}, rand.New(rand.NewSource(seed)))
+	if !nw.Connected() {
+		t.Fatalf("test deployment (n=%d, side=%v, range=%v, seed=%d) not connected", n, side, rng, seed)
+	}
+	return nw
+}
+
+func TestPartitionCoversEveryNode(t *testing.T) {
+	nw := testNet(t, 200, 60, 9, 7)
+	for _, shards := range []int{1, 2, 3, 4, 6, 9, 16} {
+		p := NewPartition(nw, shards)
+		if p.Cols*p.Rows != shards {
+			t.Fatalf("shards=%d: %dx%d tiles", shards, p.Cols, p.Rows)
+		}
+		seen := 0
+		for s, members := range p.Members {
+			for i, id := range members {
+				if p.Owner[id] != int32(s) {
+					t.Fatalf("node %d in Members[%d] but Owner says %d", id, s, p.Owner[id])
+				}
+				if i > 0 && members[i-1] >= id {
+					t.Fatalf("Members[%d] not ascending at %d", s, i)
+				}
+				seen++
+			}
+		}
+		if seen != nw.N() {
+			t.Fatalf("shards=%d: %d of %d nodes assigned", shards, seen, nw.N())
+		}
+	}
+}
+
+// TestOracleMatchesFlooder pins the oracle path to the pre-existing
+// flood package: a single-flood shard.Run with Shards=1 must report
+// exactly what flood.Flooder reports over the same deployment, which is
+// the "today's engine" anchor every sharded run is then compared to.
+func TestOracleMatchesFlooder(t *testing.T) {
+	nw := testNet(t, 150, 50, 10, 3)
+	const size = 2
+
+	kern := sim.New()
+	ledger := cost.NewLedger(cost.NewUniform(), nw.N())
+	med := radio.NewMedium(nw, kern, ledger, rand.New(rand.NewSource(1)), radio.Config{})
+	fm := flood.New(med).Flood(0, size, "payload")
+
+	res, err := Run(nw, Config{Origins: []int{0}, PktSize: size})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Forwards != fm.Forwards {
+		t.Errorf("forwards: shard %d, flooder %d", res.Forwards, fm.Forwards)
+	}
+	if res.Ignored != fm.Ignored {
+		t.Errorf("ignored: shard %d, flooder %d", res.Ignored, fm.Ignored)
+	}
+	if res.Reached[0] != int64(fm.Reached) {
+		t.Errorf("reached: shard %d, flooder %d", res.Reached[0], fm.Reached)
+	}
+	if res.Completion != fm.Latency {
+		t.Errorf("completion: shard %d, flooder latency %d", res.Completion, fm.Latency)
+	}
+	for i := 0; i < nw.N(); i++ {
+		if res.Energy[i] != ledger.Energy(i) {
+			t.Fatalf("node %d energy: shard %d, flooder %d", i, res.Energy[i], ledger.Energy(i))
+		}
+	}
+}
+
+// TestShardCountInvariance is the core differential check: the same
+// workload through 1, 2, 4, and 6 shards yields deeply equal results
+// and byte-identical canonical traces.
+func TestShardCountInvariance(t *testing.T) {
+	nw := testNet(t, 180, 55, 10, 11)
+	crashed := make([]bool, nw.N())
+	crashed[17], crashed[90], crashed[140] = true, true, true
+	base := Config{Floods: 3, PktSize: 3, Crashed: crashed, Capacity: 10_000, Trace: true}
+
+	want, err := Run(nw, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Reached[0] == 0 || want.Trace == nil {
+		t.Fatalf("degenerate oracle run: %+v", want)
+	}
+	for _, shards := range []int{2, 4, 6} {
+		cfg := base
+		cfg.Shards, cfg.Workers = shards, 1
+		got, err := Run(nw, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Trace, want.Trace) {
+			t.Fatalf("shards=%d: canonical trace diverges from oracle", shards)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("shards=%d: result diverges from oracle\n got: %+v\nwant: %+v", shards, got, want)
+		}
+		if got.Checksum() != want.Checksum() {
+			t.Fatalf("shards=%d: checksum diverges", shards)
+		}
+	}
+}
+
+// TestEngineRaceSmokeMultiWorker drives the barrier/inbox handoff with
+// real worker goroutines; the race-core Makefile target runs this under
+// -race to exercise the double-buffered exchange.
+func TestEngineRaceSmokeMultiWorker(t *testing.T) {
+	nw := testNet(t, 300, 70, 10, 5)
+	want, err := Run(nw, Config{Floods: 8, PktSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4} {
+		got, err := Run(nw, Config{Floods: 8, PktSize: 2, Shards: 8, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Checksum() != want.Checksum() {
+			t.Fatalf("workers=%d: checksum diverges from oracle", workers)
+		}
+	}
+}
+
+func TestCrashedStayUnreachedAndBatteryAccounts(t *testing.T) {
+	nw := testNet(t, 120, 40, 9, 19)
+	crashed := make([]bool, nw.N())
+	crashed[30], crashed[31] = true, true
+	const capacity = 500
+	res, err := Run(nw, Config{Shards: 4, Workers: 2, Floods: 2, Crashed: crashed, Capacity: capacity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []int{30, 31} {
+		if res.Heard[id] != 0 || res.Level[id] != 0 || res.FirstAt[id] != -1 {
+			t.Errorf("crashed node %d has reception state: heard=%b level=%d first=%d",
+				id, res.Heard[id], res.Level[id], res.FirstAt[id])
+		}
+		if res.Energy[id] != 0 {
+			t.Errorf("crashed node %d spent energy %d", id, res.Energy[id])
+		}
+	}
+	for i := 0; i < nw.N(); i++ {
+		if res.Battery[i] != capacity-int64(res.Energy[i]) {
+			t.Fatalf("node %d battery %d, want %d", i, res.Battery[i], capacity-int64(res.Energy[i]))
+		}
+	}
+	if res.Dropped == 0 {
+		t.Error("expected dead-receiver drops with crashed nodes present")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	nw := testNet(t, 30, 20, 8, 1)
+	bad := []Config{
+		{PktSize: -1},
+		{Floods: 65},
+		{Origins: []int{-1}},
+		{Origins: []int{30}},
+		{Origins: []int{0, 1}, Floods: 3},
+		{Crashed: make([]bool, 3)},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(nw, cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}

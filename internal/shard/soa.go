@@ -1,0 +1,106 @@
+package shard
+
+import (
+	"wsnva/internal/deploy"
+	"wsnva/internal/sim"
+)
+
+// State is the struct-of-arrays node-state layout for large grids: one
+// flat array per field instead of one struct per node, so a pass over a
+// single field (liveness checks on the delivery hot path, the final
+// battery fold) streams through contiguous memory. Fields a shard
+// mutates are only ever touched for nodes the shard owns, which is what
+// makes the layout safe to share across shard goroutines without locks.
+type State struct {
+	N int
+
+	// Position, copied out of the deployment once at construction.
+	X []float64
+	Y []float64
+
+	// Alive is the fail-stop gate (false = radio off; set before the run
+	// from Config.Crashed, never flipped back).
+	Alive []bool
+
+	// Battery is the remaining energy budget per node under
+	// Config.Capacity, filled in after the run from the folded ledger
+	// (capacity − energy spent). With the zero-capacity default it is
+	// simply the negated spend: a pure accounting view — sharded runs
+	// never fail-stop on depletion, that is the battery engine's job.
+	Battery []int64
+
+	// Level is the protocol-defined per-node level; the dissemination
+	// app stores the number of distinct floods the node has heard.
+	Level []int32
+
+	// Heard is a per-node bitmask of flood indices already received
+	// (bit j = flood j), the duplicate-suppression state.
+	Heard []uint64
+
+	// FirstAt is the time of the node's first reception (origins: 0),
+	// or -1 if the node was never reached.
+	FirstAt []sim.Time
+
+	// Per-node wake machinery: pending packet batch, whether a wake
+	// event is already scheduled at the current instant, and the
+	// one-outstanding timer flags. Owned by the node's shard.
+	pend        [][]Packet
+	wakePending []bool
+	timerSet    []bool
+	timerFired  []bool
+}
+
+// NewState builds the SoA layout for a deployment, all nodes alive.
+func NewState(nw *deploy.Network) *State {
+	n := nw.N()
+	st := &State{
+		N:           n,
+		X:           make([]float64, n),
+		Y:           make([]float64, n),
+		Alive:       make([]bool, n),
+		Battery:     make([]int64, n),
+		Level:       make([]int32, n),
+		Heard:       make([]uint64, n),
+		FirstAt:     make([]sim.Time, n),
+		pend:        make([][]Packet, n),
+		wakePending: make([]bool, n),
+		timerSet:    make([]bool, n),
+		timerFired:  make([]bool, n),
+	}
+	for i, nd := range nw.Nodes {
+		st.X[i] = nd.Pos.X
+		st.Y[i] = nd.Pos.Y
+		st.Alive[i] = true
+		st.FirstAt[i] = -1
+	}
+	return st
+}
+
+// Packet is one delivered message as the app sees it: the sender, the
+// size in cost-model data units, and the protocol key (the dissemination
+// app stores the flood index). Within one wake batch the (From, Key)
+// pair is unique — a node broadcasts a given key at most once per
+// instant — which is what lets the batch be sorted into a canonical
+// order independent of delivery interleaving.
+type Packet struct {
+	From int
+	Size int64
+	Key  int64
+}
+
+// sortPackets orders a wake batch by (From, Key). Batches are small
+// (bounded by node degree), so insertion sort beats sort.Slice here.
+func sortPackets(p []Packet) {
+	for i := 1; i < len(p); i++ {
+		for j := i; j > 0 && less(p[j], p[j-1]); j-- {
+			p[j], p[j-1] = p[j-1], p[j]
+		}
+	}
+}
+
+func less(a, b Packet) bool {
+	if a.From != b.From {
+		return a.From < b.From
+	}
+	return a.Key < b.Key
+}

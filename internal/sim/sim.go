@@ -419,6 +419,20 @@ func (k *Kernel) CancelOwner(owner int) int {
 	return cancelled
 }
 
+// NextAt returns the timestamp of the earliest pending event without
+// firing it, and whether any event is pending. The sharded engine polls
+// every shard's kernel with this to choose the next conservative window
+// start; the underlying peek only advances scan cursors past consumed
+// buckets and tombstones, so observing the queue never changes the
+// (At, seq) firing order.
+func (k *Kernel) NextAt() (Time, bool) {
+	e := k.peek()
+	if e == nil {
+		return 0, false
+	}
+	return e.At, true
+}
+
 // Step fires the single earliest pending event and reports whether one
 // existed.
 func (k *Kernel) Step() bool {

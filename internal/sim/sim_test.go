@@ -329,3 +329,33 @@ func TestPendingCount(t *testing.T) {
 		t.Errorf("Pending = %d, want 1", k.Pending())
 	}
 }
+
+func TestNextAt(t *testing.T) {
+	k := New()
+	if _, ok := k.NextAt(); ok {
+		t.Fatal("empty kernel reports a pending time")
+	}
+	k.At(7, func() {})
+	k.At(3, func() {})
+	k.At(3, func() {})
+	if at, ok := k.NextAt(); !ok || at != 3 {
+		t.Fatalf("NextAt = %d,%v, want 3,true", at, ok)
+	}
+	// Observing must not perturb the firing order.
+	var fired []Time
+	k.At(5, func() { fired = append(fired, 5) })
+	for {
+		at, ok := k.NextAt()
+		if !ok {
+			break
+		}
+		want := at
+		k.Step()
+		if k.Now() != want {
+			t.Fatalf("fired at %d after NextAt said %d", k.Now(), want)
+		}
+	}
+	if _, ok := k.NextAt(); ok {
+		t.Fatal("drained kernel reports a pending time")
+	}
+}
