@@ -2,16 +2,17 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-short race race-core bench bench-json bench-diff soak cover tables csv report fuzz examples clean
+.PHONY: all check build vet test test-short race race-core race-shard-faults bench bench-json bench-diff soak cover tables csv report fuzz examples clean
 
 all: build vet test
 
 # The full pre-merge gate: vet, build, an uncached race pass over the
-# concurrency-critical packages, the whole test suite under the race
+# concurrency-critical packages, a hazard-heavy multi-worker shard run
+# under the race detector, the whole test suite under the race
 # detector, one quick benchmark iteration to catch allocation or
 # wall-time blowups, a battery-depletion soak, and the observability
 # coverage floor before they land.
-check: vet build race-core race bench soak cover
+check: vet build race-core race-shard-faults race bench soak cover
 
 build:
 	$(GO) build ./...
@@ -37,6 +38,14 @@ race:
 race-core:
 	$(GO) test -race -count=1 ./internal/sim/ ./internal/radio/ ./internal/parallel/ ./internal/shard/
 
+# The fault plane under the race detector: a multi-worker sharded run
+# with the lossy channel, a crash schedule, and battery depletion all
+# armed (TestShardFaultsRaceSmoke), plus the hazard differential
+# property suite. The shared StreamChannel, the per-shard banks, and
+# the dying-gasp paths all execute under real goroutine interleaving.
+race-shard-faults:
+	$(GO) test -race -count=1 -run 'TestShardFaultsRaceSmoke|TestQuickDifferential' ./internal/shard/
+
 # Micro-benchmarks only (-run=^$$ skips the unit tests), with allocation
 # counts; short benchtime keeps this a quick regression pass. Compare the
 # whole-experiment numbers against the committed BENCH_1.json baseline.
@@ -50,17 +59,23 @@ bench:
 soak:
 	SOAK_SEEDS=40 $(GO) test -run TestDepletionSoak -count=1 ./internal/experiments/
 
-# Coverage floor for the observability layer: the trace/metrics/check
-# packages are the repo's verification substrate, so their own statement
-# coverage is gated at 75%.
+# Coverage floors: the trace/metrics/check packages are the repo's
+# verification substrate and are gated at 75%; the sharded kernel is the
+# differential-conformance tentpole and carries its own 80% floor.
 COVER_PKGS = ./internal/trace/ ./internal/trace/check/ ./internal/metrics/
 COVER_FLOOR = 75.0
+SHARD_COVER_FLOOR = 80.0
 
 cover:
 	@$(GO) test -cover $(COVER_PKGS) | awk -v floor=$(COVER_FLOOR) '\
 	{ print } \
 	/coverage:/ { pct = $$0; sub(/.*coverage: /, "", pct); sub(/%.*/, "", pct); \
 	  if (pct + 0 < floor) { print "FAIL: coverage below " floor "% floor"; bad = 1 } } \
+	END { exit bad }'
+	@$(GO) test -cover ./internal/shard/ | awk -v floor=$(SHARD_COVER_FLOOR) '\
+	{ print } \
+	/coverage:/ { pct = $$0; sub(/.*coverage: /, "", pct); sub(/%.*/, "", pct); \
+	  if (pct + 0 < floor) { print "FAIL: shard coverage below " floor "% floor"; bad = 1 } } \
 	END { exit bad }'
 
 # Refresh the committed per-experiment wall-time/alloc baseline.
@@ -96,7 +111,9 @@ fuzz:
 	$(GO) test -fuzz FuzzMediumConservation -fuzztime 30s ./internal/radio/
 	$(GO) test -fuzz FuzzDecode -fuzztime 30s ./internal/trace/
 	$(GO) test -fuzz FuzzRun -fuzztime 30s ./internal/trace/check/
-	$(GO) test -fuzz FuzzWindowBoundary -fuzztime 30s ./internal/shard/
+	$(GO) test -fuzz '^FuzzWindowBoundary$$' -fuzztime 30s ./internal/shard/
+	$(GO) test -fuzz FuzzLossyWindowBoundary -fuzztime 30s ./internal/shard/
+	$(GO) test -fuzz FuzzMidRunDeath -fuzztime 30s ./internal/shard/
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -1,5 +1,5 @@
 // Command benchtab regenerates every experiment table of the reproduction
-// (E1–E21 plus the A-series ablations) and prints them in order. Run with
+// (E1–E22 plus the A-series ablations) and prints them in order. Run with
 // -quick for trimmed sweeps, -csv for machine-readable stdout, -out to also
 // write one CSV file per experiment, -only to select experiments by ID,
 // -parallel to bound the worker pool, or -bench-json to record per-experiment
@@ -74,7 +74,7 @@ func main() {
 	repeat := flag.Int("repeat", 1, "in -bench-json mode, measure each experiment this many times and record the minimum (rejects scheduler noise)")
 	compare := flag.Bool("compare", false, "compare two -bench-json reports (OLD.json NEW.json) and exit nonzero on regressions")
 	tolerance := flag.Float64("tolerance", 10, "percent regression allowed per experiment (wall time, mallocs) in -compare mode")
-	shards := flag.Int("shards", 0, "shard count for the E21 scaling sweep; 0 runs its default (shards, workers) ladder")
+	shards := flag.Int("shards", 0, "shard count for the E21/E22 scaling sweeps; 0 runs their default (shards, workers) ladder")
 	force := flag.Bool("force", false, "in -compare mode, diff reports even when their worker/GOMAXPROCS/shard conditions differ")
 	flag.Parse()
 
@@ -120,6 +120,7 @@ func main() {
 		{"E19", experiments.E19NetworkLifetime},
 		{"E20", experiments.E20DepletionARQ},
 		{"E21", experiments.E21ShardScaling},
+		{"E22", experiments.E22HazardScaling},
 		{"A1", experiments.A1MappingAblation},
 		{"A2", experiments.A2FieldShapes},
 		{"A3", experiments.A3CostSensitivity},

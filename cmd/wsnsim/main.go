@@ -8,13 +8,21 @@
 // Usage:
 //
 //	wsnsim [-side 8] [-density 6] [-seed 1] [-field blobs|gradient|stripes]
-//	       [-thresh 0.5] [-engine des|lockstep|goroutine|physical] [-loss 0] [-retries 0]
+//	       [-thresh 0.5] [-engine des|lockstep|goroutine|physical|shard]
+//	       [-loss 0] [-retries 0] [-crash-frac 0] [-crash-window 32]
 //	       [-shards 0] [-workers 0] [-trace 0] [-trace-out trace.jsonl] [-metrics]
 //
 // -shards opts the program-injection phase into the sharded parallel
 // kernel (internal/shard): the image dissemination runs on that many
 // spatial shards over -workers goroutines. The default 0 keeps the
 // sequential single-kernel engine; results are identical either way.
+//
+// -engine shard runs the labeling application itself on the sharded
+// kernel (one node per virtual cell), honoring -shards/-workers, -loss
+// (Bernoulli, counter-keyed so the result is shard-count invariant),
+// and -crash-frac/-crash-window (that fraction of nodes fail-stops at
+// random instants inside the window). A run whose relays die before
+// the root summary assembles reports STALLED.
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 	"wsnva/internal/cost"
 	"wsnva/internal/deploy"
 	"wsnva/internal/emul"
+	"wsnva/internal/fault"
 	"wsnva/internal/field"
 	"wsnva/internal/geom"
 	"wsnva/internal/lockstep"
@@ -35,6 +44,7 @@ import (
 	"wsnva/internal/radio"
 	"wsnva/internal/regions"
 	"wsnva/internal/runtime"
+	"wsnva/internal/shard"
 	"wsnva/internal/sim"
 	"wsnva/internal/synth"
 	"wsnva/internal/trace"
@@ -49,8 +59,10 @@ func main() {
 	fieldName := flag.String("field", "blobs", "phenomenon: blobs, gradient, stripes, solid")
 	thresh := flag.Float64("thresh", 0.5, "feature threshold")
 	engine := flag.String("engine", "des", "execution engine: des, lockstep, goroutine, or physical")
-	loss := flag.Float64("loss", 0, "message loss probability (goroutine engine only)")
+	loss := flag.Float64("loss", 0, "message loss probability (goroutine and shard engines)")
 	retries := flag.Int("retries", 0, "stop-and-wait retransmissions per message (goroutine engine only)")
+	crashFrac := flag.Float64("crash-frac", 0, "fraction of nodes that fail-stop mid-run (shard engine only)")
+	crashWindow := flag.Int64("crash-window", 32, "crash times are drawn uniformly from [0, window) (shard engine only)")
 	shards := flag.Int("shards", 0, "run program injection on this many spatial shards (0 = sequential kernel)")
 	workers := flag.Int("workers", 0, "goroutines driving the shards (0 = one per shard)")
 	traceN := flag.Int("trace", 0, "print the last N virtual-machine events (DES engine only)")
@@ -202,6 +214,41 @@ func main() {
 		if exp != nil {
 			exportTrace(*traceOut, exp)
 		}
+	case "shard":
+		var crashes fault.Schedule
+		if *crashFrac > 0 {
+			sched, err := fault.Random(grid.N(), *crashFrac, sim.Time(*crashWindow), *seed+3)
+			if err != nil {
+				log.Fatalf("wsnsim: %v", err)
+			}
+			crashes = sched
+		}
+		res, err := shard.RunLabeling(m, shard.LabelConfig{Config: shard.Config{
+			Shards:  *shards,
+			Workers: *workers,
+			Loss:    *loss,
+			Seed:    *seed,
+			Crashes: crashes,
+			Trace:   *traceOut != "",
+		}})
+		if err != nil {
+			log.Fatalf("wsnsim: %v", err)
+		}
+		if *traceOut != "" {
+			if err := os.WriteFile(*traceOut, res.Trace, 0o644); err != nil {
+				log.Fatalf("wsnsim: %v", err)
+			}
+			fmt.Printf("trace: canonical JSONL exported to %s (%d bytes)\n", *traceOut, len(res.Trace))
+		}
+		fmt.Printf("labeling (%s): %d msgs over %d hops, %d sent / %d delivered / %d dropped, %d deaths, energy %d\n",
+			engineName, res.Msgs, res.Hops, res.Sent, res.Delivered, res.Dropped, res.Deaths, res.Total)
+		if res.Final == nil {
+			fmt.Printf("labeling STALLED at t=%d: the single-shot reduction lost messages or relays (loss %.2f, %d deaths)\n",
+				res.Completion, *loss, res.Deaths)
+			return
+		}
+		final = res.Final
+		fmt.Printf("root summary assembled at t=%d (run drained at t=%d)\n", res.FinalAt, res.Completion)
 	case "goroutine":
 		ledger := cost.NewLedger(cost.NewUniform(), grid.N())
 		res, err := runtime.New(h).Run(m, ledger, runtime.Config{Loss: *loss, Retries: *retries, Seed: *seed})

@@ -59,6 +59,13 @@ type Bank struct {
 	onDeplete func(node int)
 	tracer    *trace.Tracer
 	clock     func() sim.Time
+
+	// Instant-granularity dying-gasp mode (see Gasp): a depleted node
+	// keeps absorbing charges stamped at its depletion instant, and the
+	// veto starts only at the next time step. graceUntil[node] is the
+	// depletion instant, -1 while the node is up.
+	gaspClock  func() sim.Time
+	graceUntil []sim.Time
 }
 
 // SetTracer attaches an observability tracer (nil detaches): each
@@ -130,11 +137,42 @@ func fromCaps(caps []cost.Energy) *Bank {
 // most once per node, synchronously inside the depleting charge.
 func (b *Bank) OnDeplete(f func(node int)) { b.onDeplete = f }
 
+// Gasp switches the bank to instant-granularity dying-gasp semantics,
+// clocked by clock: a node whose drain crosses capacity at instant t
+// still absorbs every further charge stamped t (the whole instant is the
+// dying gasp), and the veto begins at t+1. OnDeplete still fires exactly
+// once, at the crossing.
+//
+// This is the mode the sharded kernel needs. Charges landing at one
+// simulated instant carry no defined order between a sharded engine and
+// a single kernel, so the per-charge gasp (exactly one granted overshoot)
+// would make the granted set depend on intra-instant scheduling; granting
+// the whole instant is order-independent. For the same reason the Deplete
+// trace event in this mode reports the node's capacity in Bytes rather
+// than the (order-dependent) drain at the crossing.
+func (b *Bank) Gasp(clock func() sim.Time) {
+	if clock == nil {
+		panic("battery: Gasp needs a clock")
+	}
+	b.gaspClock = clock
+	b.graceUntil = make([]sim.Time, len(b.capacity))
+	for i := range b.graceUntil {
+		b.graceUntil[i] = -1
+	}
+}
+
 // Absorb implements cost.Meter: veto charges to depleted nodes, grant and
 // accumulate everything else, and fail-stop a node the instant its drain
 // exceeds capacity.
 func (b *Bank) Absorb(node int, _ cost.Op, e cost.Energy) bool {
 	if b.dead[node] {
+		// In gasp mode the depletion instant itself is still granted:
+		// every charge stamped at graceUntil[node] accrues, the veto
+		// starts at the next time step.
+		if b.gaspClock != nil && b.graceUntil[node] >= 0 && b.gaspClock() <= b.graceUntil[node] {
+			b.drained[node] += e
+			return true
+		}
 		return false
 	}
 	if e == 0 {
@@ -144,6 +182,11 @@ func (b *Bank) Absorb(node int, _ cost.Op, e cost.Energy) bool {
 	if b.drained[node] > b.capacity[node] {
 		b.dead[node] = true
 		b.deaths++
+		reported := int64(b.drained[node])
+		if b.gaspClock != nil {
+			b.graceUntil[node] = b.gaspClock()
+			reported = int64(b.capacity[node])
+		}
 		if b.tracer != nil {
 			var at sim.Time
 			if b.clock != nil {
@@ -152,7 +195,7 @@ func (b *Bank) Absorb(node int, _ cost.Op, e cost.Energy) bool {
 			b.tracer.EmitEvent(trace.Event{At: at, Kind: trace.Deplete,
 				Node: "#" + strconv.Itoa(node), ID: node,
 				Col: -1, Row: -1, PeerCol: -1, PeerRow: -1,
-				Bytes: int64(b.drained[node]), Detail: "battery exhausted"})
+				Bytes: reported, Detail: "battery exhausted"})
 		}
 		if b.onDeplete != nil {
 			b.onDeplete(node)

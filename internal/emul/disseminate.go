@@ -5,6 +5,7 @@ import (
 
 	"wsnva/internal/cost"
 	"wsnva/internal/deploy"
+	"wsnva/internal/fault"
 	"wsnva/internal/shard"
 )
 
@@ -26,6 +27,18 @@ type DisseminateConfig struct {
 	Workers int
 	// Crashed marks nodes that are down during injection (nil = none).
 	Crashed []bool
+	// Crashes schedules mid-injection fail-stop deaths.
+	Crashes fault.Schedule
+	// Loss is the per-link Bernoulli loss probability in [0, 1);
+	// Burst selects a Gilbert–Elliott bursty channel instead (the two
+	// are mutually exclusive). Seed keys the counter-based loss streams.
+	Loss  float64
+	Burst fault.GilbertElliott
+	Seed  int64
+	// Capacity is the per-node battery budget; with Deplete set, nodes
+	// that drain it die mid-injection with dying-gasp semantics.
+	Capacity cost.Energy
+	Deplete  bool
 	// Trace captures the canonical JSONL trace of the phase.
 	Trace bool
 }
@@ -45,12 +58,18 @@ func Disseminate(nw *deploy.Network, cfg DisseminateConfig) (*shard.Result, erro
 		size = 8
 	}
 	res, err := shard.Run(nw, shard.Config{
-		Shards:  cfg.Shards,
-		Workers: cfg.Workers,
-		Origins: origins,
-		PktSize: size,
-		Crashed: cfg.Crashed,
-		Trace:   cfg.Trace,
+		Shards:   cfg.Shards,
+		Workers:  cfg.Workers,
+		Origins:  origins,
+		PktSize:  size,
+		Crashed:  cfg.Crashed,
+		Crashes:  cfg.Crashes,
+		Loss:     cfg.Loss,
+		Burst:    cfg.Burst,
+		Seed:     cfg.Seed,
+		Capacity: cfg.Capacity,
+		Deplete:  cfg.Deplete,
+		Trace:    cfg.Trace,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("emul: disseminate: %w", err)

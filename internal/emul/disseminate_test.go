@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"wsnva/internal/deploy"
+	"wsnva/internal/fault"
 	"wsnva/internal/geom"
 )
 
@@ -36,5 +37,47 @@ func TestDisseminateShardedMatchesSequential(t *testing.T) {
 	}
 	if !reflect.DeepEqual(par, seq) {
 		t.Fatalf("sharded dissemination diverges from sequential:\n got %+v\nwant %+v", par, seq)
+	}
+}
+
+// TestDisseminateHazardsPassThrough re-runs the injection phase over a
+// lossy channel with mid-run crashes and a depleting battery budget,
+// confirming the hazard knobs reach the shard engine and the sharded
+// path still matches the sequential oracle under them.
+func TestDisseminateHazardsPassThrough(t *testing.T) {
+	terrain := geom.Rect{MinX: 0, MinY: 0, MaxX: 40, MaxY: 40}
+	nw := deploy.New(120, terrain, 9, deploy.UniformRandom{}, rand.New(rand.NewSource(6)))
+	if !nw.Connected() {
+		t.Fatal("deployment not connected")
+	}
+	cfg := DisseminateConfig{
+		Origins:   []int{0, 60},
+		ImageSize: 6,
+		Loss:      0.2,
+		Seed:      31,
+		Crashes:   fault.MustRandom(nw.N(), 0.1, 30, 8),
+		Capacity:  120,
+		Deplete:   true,
+	}
+	seq, err := Disseminate(nw, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Dropped == 0 {
+		t.Fatal("lossy injection dropped nothing")
+	}
+	if seq.Deaths == 0 {
+		t.Fatal("crash schedule killed nobody")
+	}
+	cfg.Shards, cfg.Workers = 4, 2
+	par, err := Disseminate(nw, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(par, seq) {
+		t.Fatal("sharded hazard dissemination diverges from sequential")
+	}
+	if _, err := Disseminate(nw, DisseminateConfig{Loss: 1.2}); err == nil {
+		t.Error("loss 1.2 accepted")
 	}
 }

@@ -181,3 +181,23 @@ func TestE16Table(t *testing.T) {
 		t.Errorf("physical and virtual runs must agree:\n%s", tab.String())
 	}
 }
+
+// TestE22Table pins the hazard scaling sweep's correctness column: every
+// (hazard, shards, workers) cell must reproduce its scenario oracle's
+// checksum, and the hazard machinery must actually bite (lossy scenarios
+// drop packets, the crash+deplete scenario kills nodes).
+func TestE22Table(t *testing.T) {
+	tab := E22HazardScaling(Options{Quick: true})
+	if tab.NumRows() != 6 { // 1 grid x 3 hazard scenarios x 2 configs
+		t.Fatalf("rows = %d, want 6", tab.NumRows())
+	}
+	out := tab.String()
+	if strings.Contains(out, "false") {
+		t.Errorf("a sharded hazard run diverged from its oracle:\n%s", out)
+	}
+	for _, hazard := range []string{"bernoulli", "burst", "crash+deplete"} {
+		if !strings.Contains(out, hazard) {
+			t.Errorf("scenario %q missing:\n%s", hazard, out)
+		}
+	}
+}

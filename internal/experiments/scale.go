@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"wsnva/internal/deploy"
+	"wsnva/internal/fault"
 	"wsnva/internal/geom"
 	"wsnva/internal/shard"
 	"wsnva/internal/stats"
@@ -72,6 +73,75 @@ func E21ShardScaling(o Options) *stats.Table {
 				int64(after.Mallocs-before.Mallocs),
 				stats.Ratio(base, ms),
 				fmt.Sprintf("%016x", res.Checksum()))
+		}
+	}
+	return tab
+}
+
+// E22HazardScaling is E21's sweep with the formerly lifted restrictions
+// armed: the same dissemination workload under a Bernoulli channel, a
+// Gilbert–Elliott bursty channel, and a combined crash-schedule plus
+// battery-depletion scenario, each across the (shards, workers) ladder.
+// The match column witnesses the tentpole claim — counter-keyed loss
+// draws and instant-granularity deaths make every shard count compute
+// the oracle's exact result, so the parallel speedup survives hazards.
+// Wall and malloc readings are process measurements, as in E21, so this
+// table is also excluded from the golden-table tests.
+func E22HazardScaling(o Options) *stats.Table {
+	tab := stats.NewTable("E22: sharded kernel scaling under hazards — lossy channels, mid-run crashes, battery depletion",
+		"nodes", "hazard", "shards", "workers", "wall ms", "drops", "deaths", "speedup", "match", "checksum")
+
+	grids := []int{2000, 8000}
+	floods := 16
+	configs := []e21cfg{{1, 1}, {2, 2}, {4, 4}, {8, 4}}
+	if o.Quick {
+		grids = []int{600}
+		floods = 8
+		configs = []e21cfg{{1, 1}, {4, 2}}
+	}
+	if o.Shards > 0 {
+		configs = []e21cfg{{1, 1}, {o.Shards, 0}}
+	}
+
+	for _, n := range grids {
+		nw := e21net(n)
+		scenarios := []struct {
+			name string
+			cfg  shard.Config
+		}{
+			{"bernoulli 0.15", shard.Config{Loss: 0.15, Seed: 7}},
+			{"burst GE", shard.Config{Burst: fault.DefaultBurst(), Seed: 7}},
+			{"crash+deplete", shard.Config{
+				Crashes:  fault.MustRandom(n, 0.05, 50, 7),
+				Capacity: 400,
+				Deplete:  true,
+			}},
+		}
+		for _, sc := range scenarios {
+			var base float64
+			var oracle uint64
+			for i, c := range configs {
+				cfg := sc.cfg
+				cfg.Shards, cfg.Workers = c.shards, c.workers
+				cfg.Floods, cfg.PktSize = floods, 2
+				runtime.GC()
+				t0 := time.Now()
+				res, err := shard.Run(nw, cfg)
+				wall := time.Since(t0)
+				if err != nil {
+					panic(fmt.Sprintf("experiments: E22 n=%d %s shards=%d: %v", n, sc.name, c.shards, err))
+				}
+				ms := float64(wall.Nanoseconds()) / 1e6
+				if i == 0 {
+					base = ms
+					oracle = res.Checksum()
+				}
+				tab.AddRow(n, sc.name, c.shards, c.workers, ms,
+					res.Dropped, res.Deaths,
+					stats.Ratio(base, ms),
+					res.Checksum() == oracle,
+					fmt.Sprintf("%016x", res.Checksum()))
+			}
 		}
 	}
 	return tab

@@ -74,6 +74,16 @@ type MinDelayer interface {
 // only ever adds, so the floor is the one-unit transmission latency.
 func (d UniformDelay) MinDelay() sim.Time { return sim.Time(d.Model.TxLatency(1)) }
 
+// LossModel is a pluggable per-delivery loss decision. The medium asks
+// it once per delivery attempt (per neighbor on a broadcast, once on a
+// unicast), in ascending-neighbor order, exactly where the legacy shared
+// RNG draw happened. Implementations whose decisions are keyed by the
+// sender's own draw counter — fault.StreamChannel — make the loss
+// pattern schedule-independent, which the sharded kernel requires.
+type LossModel interface {
+	Lost(from, to int, size int64) bool
+}
+
 // Medium is the shared broadcast channel. It is bound to one deployment,
 // one simulation kernel, one ledger, and one RNG; all are injected so
 // experiments stay deterministic.
@@ -84,11 +94,17 @@ type Medium struct {
 	rng      *rand.Rand
 	delay    DelayModel
 	loss     float64
+	channel  LossModel
 	handlers []Handler
 	// alive is the per-node fail-stop gate: a dead node neither transmits
 	// nor receives. All nodes start alive; the fault layer flips entries
 	// via Kill and they never come back.
 	alive []bool
+	// gasp, when allocated, extends a node's life through its final
+	// instant: Expire(node) clears alive but records the expiry time, and
+	// the liveness gate still passes for events at that exact timestamp —
+	// the battery layer's dying-gasp instant. -1 means no expiry.
+	gasp []sim.Time
 
 	sent      int64 // broadcasts initiated
 	delivered int64 // per-neighbor successful deliveries
@@ -113,6 +129,10 @@ type Medium struct {
 type Config struct {
 	Delay DelayModel // nil means UniformDelay over the ledger's model
 	Loss  float64    // per-delivery drop probability in [0,1)
+	// Channel, when set, replaces the shared-RNG Bernoulli draw with a
+	// pluggable per-delivery loss decision (counter-keyed streams, bursty
+	// chains). Mutually exclusive with Loss.
+	Channel LossModel
 }
 
 // NewMedium builds a broadcast medium over nw driven by kernel, charging
@@ -120,6 +140,9 @@ type Config struct {
 func NewMedium(nw *deploy.Network, kernel *sim.Kernel, ledger *cost.Ledger, rng *rand.Rand, cfg Config) *Medium {
 	if cfg.Loss < 0 || cfg.Loss >= 1 {
 		panic(fmt.Sprintf("radio: loss probability %v out of [0,1)", cfg.Loss))
+	}
+	if cfg.Channel != nil && cfg.Loss > 0 {
+		panic("radio: Config.Loss and Config.Channel are mutually exclusive")
 	}
 	if ledger.N() != nw.N() {
 		panic(fmt.Sprintf("radio: ledger tracks %d nodes, network has %d", ledger.N(), nw.N()))
@@ -151,6 +174,7 @@ func NewMedium(nw *deploy.Network, kernel *sim.Kernel, ledger *cost.Ledger, rng 
 		rng:      rng,
 		delay:    d,
 		loss:     cfg.Loss,
+		channel:  cfg.Channel,
 		handlers: make([]Handler, nw.N()),
 		alive:    alive,
 	}
@@ -200,8 +224,57 @@ func (m *Medium) Kill(node int) {
 	}
 }
 
+// Expire is the battery layer's instant-granularity kill: the node's
+// radio completes every event at the current instant — the dying gasp
+// of a depletion that fires mid-instant — and is off from the next time
+// step on. Like Kill it emits a Death event (at the expiry instant) and
+// is a no-op on a node that is already down.
+//
+// The instant granularity is what makes a mid-run depletion reproducible
+// across shardings: deliveries within one instant carry no defined order
+// between a sharded engine and a single kernel, so the only
+// order-independent rule is "everything at the death instant still
+// lands, nothing after it does".
+func (m *Medium) Expire(node int) {
+	if !m.alive[node] {
+		return
+	}
+	if m.gasp == nil {
+		m.gasp = make([]sim.Time, m.nw.N())
+		for i := range m.gasp {
+			m.gasp[i] = -1
+		}
+	}
+	m.alive[node] = false
+	m.gasp[node] = m.kernel.Now()
+	if m.tracer != nil {
+		m.emit(trace.Death, node, -1, 0, "radio off")
+	}
+}
+
 // Alive reports whether node's radio is still up.
 func (m *Medium) Alive(node int) bool { return m.alive[node] }
+
+// liveAt is the transmission/reception gate: up, or expiring at this
+// very instant (the dying gasp).
+func (m *Medium) liveAt(node int) bool {
+	if m.alive[node] {
+		return true
+	}
+	return m.gasp != nil && m.gasp[node] >= 0 && m.kernel.Now() <= m.gasp[node]
+}
+
+// lost draws one delivery attempt's loss decision: the pluggable channel
+// when configured, else the legacy shared-RNG Bernoulli draw. Callers
+// guard with m.lossy() so the zero-loss fast path consumes nothing.
+func (m *Medium) lost(from, to int, size int64) bool {
+	if m.channel != nil {
+		return m.channel.Lost(from, to, size)
+	}
+	return m.rng.Float64() < m.loss
+}
+
+func (m *Medium) lossy() bool { return m.channel != nil || m.loss > 0 }
 
 // Handle registers the receive handler for node id, replacing any previous
 // handler. A nil handler makes the node deaf (it still pays receive energy
@@ -260,7 +333,7 @@ func (m *Medium) Broadcast(from int, size int64, payload any) int {
 	if size < 0 {
 		panic(fmt.Sprintf("radio: negative packet size %d", size))
 	}
-	if !m.alive[from] {
+	if !m.liveAt(from) {
 		return 0
 	}
 	m.sent++
@@ -277,7 +350,7 @@ func (m *Medium) Broadcast(from int, size int64, payload any) int {
 	m.scratchDelay = m.scratchDelay[:0]
 	uniform := true
 	for _, nbr := range m.nw.Neighbors(from) {
-		if m.loss > 0 && m.rng.Float64() < m.loss {
+		if m.lossy() && m.lost(from, nbr, size) {
 			m.dropped++
 			if m.tracer != nil {
 				m.emit(trace.Drop, nbr, from, size, "lost")
@@ -346,7 +419,7 @@ func (m *Medium) Unicast(from, to int, size int64, payload any) bool {
 	if !m.isNeighbor(from, to) {
 		panic(fmt.Sprintf("radio: unicast %d->%d between non-neighbors", from, to))
 	}
-	if !m.alive[from] {
+	if !m.liveAt(from) {
 		return false
 	}
 	m.sent++
@@ -357,7 +430,7 @@ func (m *Medium) Unicast(from, to int, size int64, payload any) bool {
 	if m.mTx != nil {
 		m.mTx.Inc(from)
 	}
-	if m.loss > 0 && m.rng.Float64() < m.loss {
+	if m.lossy() && m.lost(from, to, size) {
 		m.dropped++
 		if m.tracer != nil {
 			m.emit(trace.Drop, to, from, size, "lost")
@@ -383,7 +456,7 @@ func (m *Medium) isNeighbor(from, to int) bool {
 }
 
 func (m *Medium) deliver(to int, pkt Packet) {
-	if !m.alive[to] {
+	if !m.liveAt(to) {
 		// The receiver died while the packet was in flight: no Rx charge
 		// (the radio is off), no handler, counted as a drop.
 		m.dropped++

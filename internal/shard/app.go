@@ -24,9 +24,16 @@ type fabric interface {
 	now() sim.Time
 	// broadcast transmits size data units carrying key to every one-hop
 	// neighbor of from, charging Tx at the sender, and returns how many
-	// neighbors it was queued for. size must be positive: a zero-size
-	// packet would have zero latency and break the lookahead bound.
+	// neighbors it was queued for (losses excluded). size must be
+	// positive: a zero-size packet would have zero latency and break the
+	// lookahead bound.
 	broadcast(from int, size, key int64) int
+	// unicast transmits size data units carrying (key, payload) to a
+	// single one-hop neighbor, charging Tx at the sender; it reports
+	// whether the packet was queued (false: dead sender or loss draw).
+	// key must be unique among all packets that can reach one node at
+	// one instant — the labeling app uses the originating node's id.
+	unicast(from, to int, size, key int64, payload any) bool
 	// wakeAfter arms the node's single-shot timer d > 0 units from now;
 	// at most one may be outstanding per node.
 	wakeAfter(node int, d sim.Time) sim.Time

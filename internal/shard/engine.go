@@ -2,10 +2,13 @@ package shard
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 
+	"wsnva/internal/battery"
 	"wsnva/internal/cost"
 	"wsnva/internal/deploy"
+	"wsnva/internal/fault"
 	"wsnva/internal/parallel"
 	"wsnva/internal/sim"
 	"wsnva/internal/trace"
@@ -15,11 +18,22 @@ import (
 // shard's outbox row during a window, injected into the destination
 // shard's kernel at the next barrier.
 type xmsg struct {
-	at   sim.Time
-	from int32
-	to   int32
-	size int64
-	key  int64
+	at      sim.Time
+	from    int32
+	to      int32
+	size    int64
+	key     int64
+	payload any
+}
+
+// hazards bundles the stochastic and fail-stop machinery threaded
+// through both execution paths: the counter-keyed loss channel, the
+// mid-run crash schedule, and the battery budget (0 disables
+// depletion). A zero value is the loss-free, fault-free fast path.
+type hazards struct {
+	channel  *fault.StreamChannel
+	crashes  fault.Schedule
+	capacity cost.Energy
 }
 
 // engine runs one simulation across S spatial shards in conservative
@@ -46,7 +60,11 @@ type engine struct {
 	model     *cost.Model
 	lookahead sim.Time
 	pool      *parallel.Pool
-	shards    []*shardRun
+	// channel is shared by every shard: all of its mutable state is
+	// per-sender, and only a node's owner shard draws for it, so shards
+	// never touch the same slot (see fault.StreamChannel).
+	channel *fault.StreamChannel
+	shards  []*shardRun
 	// cur[src][dst] collects messages sent by shard src to shard dst in
 	// the running window; prev holds the previous window's sends and is
 	// drained (and reset) by the destination shards at injection time.
@@ -66,6 +84,12 @@ type shardRun struct {
 	tracer *trace.Tracer
 	app    app
 	nodes  []int32
+	// bank meters this shard's ledger when depletion is armed. Each
+	// shard has its own full-width bank, but a node's every charge (Tx
+	// at its sends, Rx at its deliveries) lands on its owner shard's
+	// ledger, so exactly one bank observes each node's complete drain
+	// sequence — the same sequence the oracle's single bank sees.
+	bank *battery.Bank
 
 	sent      int64
 	delivered int64
@@ -79,16 +103,17 @@ type shardRun struct {
 // a packet to every same-shard receiver in ascending ID order, exactly
 // mirroring radio.Medium's pooled delivery records.
 type fanout struct {
-	s    *shardRun
-	from int32
-	size int64
-	key  int64
-	to   []int32
-	fire func()
+	s       *shardRun
+	from    int32
+	size    int64
+	key     int64
+	payload any
+	to      []int32
+	fire    func()
 }
 
 func newEngine(nw *deploy.Network, st *State, part *Partition, model *cost.Model,
-	lookahead sim.Time, pool *parallel.Pool, mkApp func(shard int) app, traceCap int) *engine {
+	lookahead sim.Time, pool *parallel.Pool, mkApp func(shard int) app, hz hazards, traceCap int) *engine {
 	if lookahead < 1 {
 		panic(fmt.Sprintf("shard: lookahead %d must be at least one time unit", lookahead))
 	}
@@ -100,6 +125,7 @@ func newEngine(nw *deploy.Network, st *State, part *Partition, model *cost.Model
 		model:     model,
 		lookahead: lookahead,
 		pool:      pool,
+		channel:   hz.channel,
 		shards:    make([]*shardRun, s),
 		cur:       makeOutbox(s),
 		prev:      makeOutbox(s),
@@ -115,10 +141,75 @@ func newEngine(nw *deploy.Network, st *State, part *Partition, model *cost.Model
 		if traceCap > 0 {
 			sr.tracer = trace.New(traceCap)
 		}
+		if hz.capacity > 0 {
+			sr.bank = battery.Uniform(nw.N(), hz.capacity)
+			sr.bank.Gasp(sr.kern.Now)
+			sr.bank.OnDeplete(sr.deplete)
+			if sr.tracer != nil {
+				sr.bank.SetTracer(sr.tracer, sr.kern.Now)
+			}
+			sr.ledger.SetMeter(sr.bank)
+		}
 		sr.app = mkApp(i)
 		e.shards[i] = sr
 	}
+	// Mid-run crashes are known up front and only touch owner-shard
+	// state, so they are pre-scheduled into each victim's owner kernel —
+	// no cross-shard traffic needed. Scheduling them here, before the
+	// start phase queues anything, gives the crash events the lowest
+	// sequence numbers at their timestamps: a crash always fires before
+	// any same-instant delivery or wake, exactly as the oracle's
+	// injector-armed crashes (armed before app start) do.
+	for _, c := range hz.crashes {
+		c := c
+		sr := e.shards[part.Owner[c.Node]]
+		sr.kern.At(c.At, func() {
+			sr.last = sr.kern.Now()
+			sr.kill(c.Node)
+		})
+	}
 	return e
+}
+
+// kill is the fail-stop crash: the radio goes silent immediately —
+// deliveries at the crash instant are already too late, because the
+// crash event's sequence number precedes theirs — and every event the
+// node owns (its timer) is cancelled. A node that already depleted
+// emits no second Death, but its owned events are still cancelled,
+// mirroring the oracle's fault.Injector.kill exactly (a timer re-armed
+// during the dying-gasp instant dies here on both paths).
+func (s *shardRun) kill(node int) {
+	st := s.eng.st
+	if st.Alive[node] {
+		st.Alive[node] = false
+		if s.tracer != nil {
+			s.emit(trace.Death, node, -1, 0, "radio off")
+		}
+	}
+	st.timerSet[node] = false
+	s.kern.CancelOwner(node)
+}
+
+// deplete is the battery death, fired synchronously by the bank inside
+// the crossing charge: the node finishes the current instant (GaspUntil
+// keeps the liveness gate open for events stamped now) and is silent
+// from the next time step on. Pending timers are deliberately NOT
+// cancelled here: the sequence order of a same-instant timer against
+// the charge that crossed the budget is schedule-dependent (barrier
+// injection assigns late sequence numbers), so cancelling would make
+// the dying wake's timer flag depend on the shard count. Instead the
+// gasp covers the whole instant — a timer stamped now still fires —
+// and any later timer is swallowed by runWake's liveness gate.
+func (s *shardRun) deplete(node int) {
+	st := s.eng.st
+	if !st.Alive[node] {
+		return
+	}
+	st.Alive[node] = false
+	st.GaspUntil[node] = s.kern.Now()
+	if s.tracer != nil {
+		s.emit(trace.Death, node, -1, 0, "radio off")
+	}
 }
 
 func makeOutbox(s int) [][][]xmsg {
@@ -205,7 +296,7 @@ func (s *shardRun) inject() {
 			m := m
 			s.kern.At(m.at, func() {
 				s.last = s.kern.Now()
-				s.deliver(int(m.to), int(m.from), m.size, m.key)
+				s.deliver(int(m.to), int(m.from), m.size, m.key, m.payload)
 			})
 		}
 		e.prev[src][s.id] = box[:0]
@@ -214,13 +305,18 @@ func (s *shardRun) inject() {
 
 // broadcast implements fabric: charge the sender, split the fan-out
 // into one pooled local delivery event plus per-destination outbox
-// entries, all at sendTime + TxLatency(size).
+// entries, all at sendTime + TxLatency(size). Loss is drawn per
+// neighbor in ascending-ID order from the shared counter-keyed channel
+// — the identical draw sequence radio.Medium consumes, because the
+// channel is keyed by the sender's own counter, not by any global
+// schedule. Returns the number of neighbors the packet was queued for,
+// losses excluded, matching Medium.Broadcast.
 func (s *shardRun) broadcast(from int, size, key int64) int {
 	if size <= 0 {
 		panic(fmt.Sprintf("shard: packet size %d must be positive", size))
 	}
 	st := s.eng.st
-	if !st.Alive[from] {
+	if !st.liveAt(from, s.kern.Now()) {
 		return 0
 	}
 	s.sent++
@@ -230,12 +326,21 @@ func (s *shardRun) broadcast(from int, size, key int64) int {
 	}
 	at := s.kern.Now() + sim.Time(s.eng.model.TxLatency(size))
 	owner := s.eng.part.Owner
+	ch := s.eng.channel
 	var local *fanout
-	nbrs := s.eng.nw.Neighbors(from)
-	for _, nbr := range nbrs {
+	queued := 0
+	for _, nbr := range s.eng.nw.Neighbors(from) {
+		if ch != nil && ch.Lost(from, nbr, size) {
+			s.dropped++
+			if s.tracer != nil {
+				s.emit(trace.Drop, nbr, from, size, "lost")
+			}
+			continue
+		}
+		queued++
 		if dst := owner[nbr]; int(dst) == s.id {
 			if local == nil {
-				local = s.newFanout(int32(from), size, key)
+				local = s.newFanout(int32(from), size, key, nil)
 			}
 			local.to = append(local.to, int32(nbr))
 		} else {
@@ -246,18 +351,58 @@ func (s *shardRun) broadcast(from int, size, key int64) int {
 	if local != nil {
 		s.kern.At(at, local.fire)
 	}
-	return len(nbrs)
+	return queued
 }
 
-func (s *shardRun) newFanout(from int32, size, key int64) *fanout {
+// unicast implements fabric, mirroring Medium.Unicast event for event:
+// neighbor check, liveness gate, Tx charge and trace, one loss draw,
+// then a single delivery — local fan-out of one, or an outbox entry
+// when the receiver lives on another shard.
+func (s *shardRun) unicast(from, to int, size, key int64, payload any) bool {
+	if size <= 0 {
+		panic(fmt.Sprintf("shard: packet size %d must be positive", size))
+	}
+	nbrs := s.eng.nw.Neighbors(from)
+	if i := sort.SearchInts(nbrs, to); i >= len(nbrs) || nbrs[i] != to {
+		panic(fmt.Sprintf("shard: unicast %d->%d between non-neighbors", from, to))
+	}
+	st := s.eng.st
+	if !st.liveAt(from, s.kern.Now()) {
+		return false
+	}
+	s.sent++
+	s.ledger.Charge(from, cost.Tx, size)
+	if s.tracer != nil {
+		s.emit(trace.Tx, from, to, size, "unicast")
+	}
+	if ch := s.eng.channel; ch != nil && ch.Lost(from, to, size) {
+		s.dropped++
+		if s.tracer != nil {
+			s.emit(trace.Drop, to, from, size, "lost")
+		}
+		return false
+	}
+	at := s.kern.Now() + sim.Time(s.eng.model.TxLatency(size))
+	if dst := s.eng.part.Owner[to]; int(dst) == s.id {
+		f := s.newFanout(int32(from), size, key, payload)
+		f.to = append(f.to, int32(to))
+		s.kern.At(at, f.fire)
+	} else {
+		s.eng.cur[s.id][dst] = append(s.eng.cur[s.id][dst],
+			xmsg{at: at, from: int32(from), to: int32(to), size: size, key: key, payload: payload})
+	}
+	return true
+}
+
+func (s *shardRun) newFanout(from int32, size, key int64, payload any) *fanout {
 	if n := len(s.freeFan); n > 0 {
 		f := s.freeFan[n-1]
 		s.freeFan[n-1] = nil
 		s.freeFan = s.freeFan[:n-1]
-		f.from, f.size, f.key = from, size, key
+		f.from, f.size, f.key, f.payload = from, size, key, payload
 		return f
 	}
-	f := &fanout{s: s, from: from, size: size, key: key}
+	f := &fanout{s: s, from: from, size: size, key: key, payload: payload}
 	f.fire = f.run
 	return f
 }
@@ -266,8 +411,9 @@ func (f *fanout) run() {
 	s := f.s
 	s.last = s.kern.Now()
 	for _, to := range f.to {
-		s.deliver(int(to), int(f.from), f.size, f.key)
+		s.deliver(int(to), int(f.from), f.size, f.key, f.payload)
 	}
+	f.payload = nil
 	f.to = f.to[:0]
 	s.freeFan = append(s.freeFan, f)
 }
@@ -276,9 +422,9 @@ func (f *fanout) run() {
 // judged at delivery time exactly as radio.Medium does, the receiver is
 // charged Rx, and the packet joins the node's pending batch with a wake
 // scheduled at the current instant.
-func (s *shardRun) deliver(to, from int, size, key int64) {
+func (s *shardRun) deliver(to, from int, size, key int64, payload any) {
 	st := s.eng.st
-	if !st.Alive[to] {
+	if !st.liveAt(to, s.kern.Now()) {
 		s.dropped++
 		if s.tracer != nil {
 			s.emit(trace.Drop, to, from, size, "dead receiver")
@@ -290,7 +436,7 @@ func (s *shardRun) deliver(to, from int, size, key int64) {
 	if s.tracer != nil {
 		s.emit(trace.Rx, to, from, size, "")
 	}
-	st.pend[to] = append(st.pend[to], Packet{From: from, Size: size, Key: key})
+	st.pend[to] = append(st.pend[to], Packet{From: from, Size: size, Key: key, Payload: payload})
 	s.scheduleWake(to)
 }
 
@@ -319,6 +465,12 @@ func (s *shardRun) runWake(n int) {
 	timer := st.timerFired[n]
 	st.timerFired[n] = false
 	pkts := st.pend[n]
+	// A wake can outlive its node: a timer re-armed during the node's
+	// dying-gasp instant fires later, when the node is silent for good.
+	if !st.liveAt(n, s.kern.Now()) {
+		st.pend[n] = pkts[:0]
+		return
+	}
 	sortPackets(pkts)
 	s.app.wake(s, n, pkts, timer)
 	st.pend[n] = pkts[:0]
@@ -336,7 +488,12 @@ func (s *shardRun) wakeAfter(n int, d sim.Time) sim.Time {
 	}
 	st.timerSet[n] = true
 	at := s.kern.Now() + d
-	s.kern.After(d, func() {
+	// The timer is the node's owned event: a crash cancels it via
+	// CancelOwner (the crash event's low sequence number makes that
+	// deterministic), while depletion leaves it for runWake's liveness
+	// gate. Wake events stay unowned so a crash never unschedules the
+	// drain of an already-accumulated batch.
+	s.kern.AfterOwned(n, d, func() {
 		s.last = s.kern.Now()
 		st.timerSet[n] = false
 		st.timerFired[n] = true

@@ -115,10 +115,10 @@ func runFuzzApp(nw *deploy.Network, plan [][]fuzzStep, shards, workers int) (*fu
 	mk := func(int) app { return a }
 	model := cost.NewUniform()
 	if shards <= 1 {
-		return a, execute(nw, st, model, nil, nil, mk, nil, 0)
+		return a, execute(nw, st, model, nil, nil, mk, hazards{}, nil, 0)
 	}
 	part := NewPartition(nw, shards)
-	return a, execute(nw, st, model, part, parallel.New(workers), mk, nil, 0)
+	return a, execute(nw, st, model, part, parallel.New(workers), mk, hazards{}, nil, 0)
 }
 
 // FuzzWindowBoundary feeds random broadcast schedules whose deliveries

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math/rand"
 
+	"wsnva/internal/battery"
 	"wsnva/internal/cost"
 	"wsnva/internal/deploy"
+	"wsnva/internal/fault"
 	"wsnva/internal/radio"
 	"wsnva/internal/sim"
 	"wsnva/internal/trace"
@@ -13,35 +15,81 @@ import (
 
 // singleFab is the differential oracle: the same app API implemented
 // over today's engine — one sim.Kernel driving an unmodified
-// radio.Medium. A sharded run with any shard count must match this path
-// bit for bit; the property tests in quick_test.go hold it to that.
+// radio.Medium, with the stock fault.Injector arming mid-run crashes
+// and a stock battery.Bank metering the ledger. A sharded run with any
+// shard count must match this path bit for bit; the property tests in
+// quick_test.go hold it to that.
 //
-// The medium's RNG is never consumed because the oracle runs the
-// deterministic fast path (Loss = 0, jitter-free UniformDelay); loss
-// and jitter draw from one shared stream and are therefore inherently
-// order-dependent across shardings, so the sharded kernel does not
-// support them.
+// The medium's own RNG is never consumed: delay is jitter-free
+// UniformDelay, and loss comes from the counter-keyed StreamChannel
+// (shared with the sharded engine), whose draws are a pure function of
+// (seed, sender, per-sender counter) — not of event interleaving. That
+// rekeying is what lifted the oracle's former Loss = 0 restriction.
 type singleFab struct {
 	med    *radio.Medium
 	st     *State
 	app    app
+	inj    *fault.Injector
+	bank   *battery.Bank
+	hz     hazards
 	tracer *trace.Tracer
 }
 
-func newSingleFab(nw *deploy.Network, st *State, model *cost.Model, traceCap int) *singleFab {
+// wirePkt carries a unicast's (key, payload) pair across the medium,
+// which transports a single opaque payload. Broadcasts put the bare
+// int64 key on the wire instead — the hot path stays allocation-free.
+type wirePkt struct {
+	key     int64
+	payload any
+}
+
+func newSingleFab(nw *deploy.Network, st *State, model *cost.Model, hz hazards, traceCap int) *singleFab {
 	kern := sim.New()
 	ledger := cost.NewLedger(model, nw.N())
-	med := radio.NewMedium(nw, kern, ledger, rand.New(rand.NewSource(1)), radio.Config{})
-	f := &singleFab{med: med, st: st}
+	var ch radio.LossModel
+	if hz.channel != nil {
+		ch = hz.channel
+	}
+	med := radio.NewMedium(nw, kern, ledger, rand.New(rand.NewSource(1)), radio.Config{Channel: ch})
+	f := &singleFab{med: med, st: st, hz: hz}
 	if traceCap > 0 {
 		f.tracer = trace.New(traceCap)
 		med.SetTracer(f.tracer)
 	}
+	if hz.capacity > 0 {
+		f.bank = battery.Uniform(nw.N(), hz.capacity)
+		f.bank.Gasp(kern.Now)
+		f.bank.OnDeplete(f.deplete)
+		if f.tracer != nil {
+			f.bank.SetTracer(f.tracer, kern.Now)
+		}
+		ledger.SetMeter(f.bank)
+	}
 	return f
 }
 
+// deplete is the oracle's battery death: instant-granularity radio
+// expiry (the medium keeps delivering events stamped at the death
+// instant) and the SoA liveness mirror. As in shardRun.deplete, the
+// node's pending timer is left in the queue — cancelling it would leak
+// the schedule-dependent order of the timer against the depleting
+// charge — so a same-instant timer still fires inside the gasp and any
+// later one dies at runWake's liveness gate.
+func (f *singleFab) deplete(node int) {
+	if !f.st.Alive[node] {
+		return
+	}
+	f.med.Expire(node)
+	f.st.Alive[node] = false
+	f.st.GaspUntil[node] = f.med.Kernel().Now()
+}
+
 // run boots every node, drains the kernel, and returns the completion
-// time (the timestamp of the last fired event).
+// time (the timestamp of the last fired event). Mid-run crashes are
+// armed through the stock injector before the apps start, so each
+// crash event carries the lowest sequence number at its timestamp —
+// the same before-everything ordering the sharded engine establishes
+// by pre-scheduling crashes in newEngine.
 func (f *singleFab) run(a app, crashed []bool) sim.Time {
 	f.app = a
 	n := f.med.Network().N()
@@ -50,6 +98,13 @@ func (f *singleFab) run(a app, crashed []bool) sim.Time {
 			f.med.Kill(i)
 			f.st.Alive[i] = false
 		}
+	}
+	if len(f.hz.crashes) > 0 {
+		f.inj = fault.NewInjector(f.med.Kernel(), n)
+		f.inj.Arm(f.hz.crashes, f.med, fault.TargetFunc(func(node int) {
+			f.st.Alive[node] = false
+			f.st.timerSet[node] = false
+		}))
 	}
 	for id := 0; id < n; id++ {
 		id := id
@@ -70,6 +125,13 @@ func (f *singleFab) broadcast(from int, size, key int64) int {
 	return f.med.Broadcast(from, size, key)
 }
 
+func (f *singleFab) unicast(from, to int, size, key int64, payload any) bool {
+	if size <= 0 {
+		panic(fmt.Sprintf("shard: packet size %d must be positive", size))
+	}
+	return f.med.Unicast(from, to, size, wirePkt{key: key, payload: payload})
+}
+
 func (f *singleFab) wakeAfter(n int, d sim.Time) sim.Time {
 	if d <= 0 {
 		panic(fmt.Sprintf("shard: wake delay %d must be positive", d))
@@ -80,7 +142,8 @@ func (f *singleFab) wakeAfter(n int, d sim.Time) sim.Time {
 	f.st.timerSet[n] = true
 	kern := f.med.Kernel()
 	at := kern.Now() + d
-	kern.After(d, func() {
+	// Owned, so a crash or depletion cancels it — matching the engine.
+	kern.AfterOwned(n, d, func() {
 		f.st.timerSet[n] = false
 		f.st.timerFired[n] = true
 		f.scheduleWake(n)
@@ -92,11 +155,16 @@ func (f *singleFab) wakeAfter(n int, d sim.Time) sim.Time {
 // mirroring shardRun.deliver after the medium has already done the
 // liveness check, the Rx charge, and the trace emission.
 func (f *singleFab) onPacket(id int, pkt radio.Packet) {
-	key, ok := pkt.Payload.(int64)
-	if !ok {
+	var p Packet
+	switch v := pkt.Payload.(type) {
+	case int64:
+		p = Packet{From: pkt.From, Size: pkt.Size, Key: v}
+	case wirePkt:
+		p = Packet{From: pkt.From, Size: pkt.Size, Key: v.key, Payload: v.payload}
+	default:
 		panic(fmt.Sprintf("shard: oracle received foreign payload %T", pkt.Payload))
 	}
-	f.st.pend[id] = append(f.st.pend[id], Packet{From: pkt.From, Size: pkt.Size, Key: key})
+	f.st.pend[id] = append(f.st.pend[id], p)
 	f.scheduleWake(id)
 }
 
@@ -114,6 +182,12 @@ func (f *singleFab) runWake(n int) {
 	timer := st.timerFired[n]
 	st.timerFired[n] = false
 	pkts := st.pend[n]
+	// Same late-wake gate as shardRun.runWake: a timer re-armed during
+	// the dying-gasp instant fires after the node has gone silent.
+	if !st.liveAt(n, f.med.Kernel().Now()) {
+		st.pend[n] = pkts[:0]
+		return
+	}
 	sortPackets(pkts)
 	f.app.wake(f, n, pkts, timer)
 	st.pend[n] = pkts[:0]

@@ -5,6 +5,7 @@ import (
 
 	"wsnva/internal/cost"
 	"wsnva/internal/deploy"
+	"wsnva/internal/fault"
 	"wsnva/internal/parallel"
 	"wsnva/internal/radio"
 	"wsnva/internal/sim"
@@ -36,10 +37,35 @@ type Config struct {
 	// before time zero). Nil means all alive; otherwise length N.
 	Crashed []bool
 
+	// Crashes schedules mid-run fail-stop deaths (a schedule entry for a
+	// node in the Crashed mask is ignored — the node is already down).
+	// Crash events fire before any same-instant delivery or wake, on
+	// both execution paths.
+	Crashes fault.Schedule
+
+	// Loss is the per-delivery Bernoulli drop probability in [0,1),
+	// drawn from a counter-keyed per-sender stream (fault.StreamChannel)
+	// so the loss pattern is a pure function of (Seed, sender, attempt
+	// index) — identical across shard and worker counts.
+	Loss float64
+
+	// Burst selects the Gilbert–Elliott bursty channel instead, again
+	// counter-keyed per sender. Mutually exclusive with Loss.
+	Burst fault.GilbertElliott
+
+	// Seed keys the loss channel's per-sender streams.
+	Seed int64
+
 	// Capacity is the per-node energy budget used to fill the SoA
-	// Battery field after the run (remaining = capacity − spent). It is
-	// pure accounting: sharded runs never fail-stop on depletion.
+	// Battery field after the run (remaining = capacity − spent).
 	Capacity cost.Energy
+
+	// Deplete arms battery fail-stop: a node whose cumulative drain
+	// crosses Capacity dies at the crossing instant with dying-gasp
+	// semantics (it completes every event stamped at that instant and is
+	// silent from the next time step). Requires Capacity > 0. Without
+	// it, Capacity stays pure accounting.
+	Deplete bool
 
 	// Trace enables canonical JSONL trace capture in Result.Trace.
 	Trace bool
@@ -71,6 +97,9 @@ type Result struct {
 	Dropped   int64
 	// Completion is the timestamp of the last event fired.
 	Completion sim.Time
+	// Deaths counts nodes down at the end of the run: the Crashed mask,
+	// fired Crashes entries, and battery depletions.
+	Deaths int
 	// Energy is the per-node energy spend; Total its sum.
 	Energy []cost.Energy
 	Total  cost.Energy
@@ -109,6 +138,7 @@ func (r *Result) Checksum() uint64 {
 	mix(uint64(r.Delivered))
 	mix(uint64(r.Dropped))
 	mix(uint64(r.Completion))
+	mix(uint64(r.Deaths))
 	for _, e := range r.Energy {
 		mix(uint64(e))
 	}
@@ -144,11 +174,13 @@ type runStats struct {
 
 // execute runs mkApp's protocol over the oracle (part == nil) or the
 // sharded engine. mkApp is called once per shard (once total on the
-// oracle path), sequentially, in shard order.
+// oracle path), sequentially, in shard order. hz carries the loss
+// channel, the mid-run crash schedule, and the depletion budget; both
+// paths thread it through the same gates.
 func execute(nw *deploy.Network, st *State, model *cost.Model, part *Partition,
-	pool *parallel.Pool, mkApp func(shard int) app, crashed []bool, traceCap int) runStats {
+	pool *parallel.Pool, mkApp func(shard int) app, hz hazards, crashed []bool, traceCap int) runStats {
 	if part == nil {
-		fab := newSingleFab(nw, st, model, traceCap)
+		fab := newSingleFab(nw, st, model, hz, traceCap)
 		completion := fab.run(mkApp(0), crashed)
 		sent, delivered, dropped := fab.med.Stats()
 		return runStats{
@@ -160,7 +192,7 @@ func execute(nw *deploy.Network, st *State, model *cost.Model, part *Partition,
 		}
 	}
 	lookahead := radio.UniformDelay{Model: model}.MinDelay()
-	eng := newEngine(nw, st, part, model, lookahead, pool, mkApp, traceCap)
+	eng := newEngine(nw, st, part, model, lookahead, pool, mkApp, hz, traceCap)
 	rs := runStats{
 		completion: eng.run(crashed),
 		ledger:     cost.NewLedger(model, nw.N()),
@@ -231,18 +263,24 @@ func Run(nw *deploy.Network, cfg Config) (*Result, error) {
 	if cfg.Crashed != nil && len(cfg.Crashed) != n {
 		return nil, fmt.Errorf("shard: crash mask covers %d nodes, network has %d", len(cfg.Crashed), n)
 	}
+	hz, err := buildHazards(n, &cfg)
+	if err != nil {
+		return nil, err
+	}
 
 	st := NewState(nw)
 	traceCap := 0
 	if cfg.Trace {
 		// Exact upper bound on emitted events: each node forwards each
 		// flood at most once, and one broadcast emits one Tx plus one
-		// Rx-or-Drop per neighbor; add one potential Death per node.
+		// Rx-or-Drop per neighbor (a loss draw swaps an Rx for a Drop,
+		// never adds an event); add one potential Death and one
+		// potential Deplete per node.
 		sumDeg := 0
 		for i := 0; i < n; i++ {
 			sumDeg += nw.Degree(i)
 		}
-		traceCap = k*(n+sumDeg) + n + 1
+		traceCap = k*(n+sumDeg) + 2*n + 1
 	}
 	var apps []*dissApp
 	mk := func(int) app {
@@ -252,11 +290,11 @@ func Run(nw *deploy.Network, cfg Config) (*Result, error) {
 	}
 	var rs runStats
 	if cfg.Shards <= 1 {
-		rs = execute(nw, st, model, nil, nil, mk, cfg.Crashed, traceCap)
+		rs = execute(nw, st, model, nil, nil, mk, hz, cfg.Crashed, traceCap)
 	} else {
 		part := NewPartition(nw, cfg.Shards)
 		pool := parallel.New(cfg.Workers)
-		rs = execute(nw, st, model, part, pool, mk, cfg.Crashed, traceCap)
+		rs = execute(nw, st, model, part, pool, mk, hz, cfg.Crashed, traceCap)
 	}
 	if rs.lost > 0 {
 		return nil, fmt.Errorf("shard: trace ring overflowed, %d events lost", rs.lost)
@@ -277,6 +315,7 @@ func Run(nw *deploy.Network, cfg Config) (*Result, error) {
 		Delivered:  rs.delivered,
 		Dropped:    rs.dropped,
 		Completion: rs.completion,
+		Deaths:     st.Deaths(),
 		Energy:     make([]cost.Energy, n),
 		Heard:      st.Heard,
 		Level:      st.Level,
@@ -296,4 +335,58 @@ func Run(nw *deploy.Network, cfg Config) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// buildHazards validates the stochastic and fail-stop knobs shared by
+// every sharded workload and assembles them into a hazards value: the
+// counter-keyed loss channel, the filtered mid-run crash schedule, and
+// the depletion budget.
+func buildHazards(n int, cfg *Config) (hazards, error) {
+	var hz hazards
+	if cfg.Loss < 0 || cfg.Loss >= 1 {
+		return hz, fmt.Errorf("shard: loss probability %v out of [0,1)", cfg.Loss)
+	}
+	if cfg.Loss > 0 && cfg.Burst.Enabled() {
+		return hz, fmt.Errorf("shard: Loss and Burst are mutually exclusive")
+	}
+	switch {
+	case cfg.Burst.Enabled():
+		ch, err := cfg.Burst.Stream(n, cfg.Seed)
+		if err != nil {
+			return hz, err
+		}
+		hz.channel = ch
+	case cfg.Loss > 0:
+		ch, err := fault.NewBernoulliStream(n, cfg.Loss, cfg.Seed)
+		if err != nil {
+			return hz, err
+		}
+		hz.channel = ch
+	}
+	if cfg.Deplete && cfg.Capacity <= 0 {
+		return hz, fmt.Errorf("shard: Deplete needs a positive Capacity, got %d", cfg.Capacity)
+	}
+	if cfg.Deplete {
+		hz.capacity = cfg.Capacity
+	}
+	if len(cfg.Crashes) > 0 {
+		keep := make(fault.Schedule, 0, len(cfg.Crashes))
+		for _, c := range cfg.Crashes {
+			if c.Node < 0 || c.Node >= n {
+				return hz, fmt.Errorf("shard: crash for node %d outside [0,%d)", c.Node, n)
+			}
+			if c.At < 0 {
+				return hz, fmt.Errorf("shard: crash time %d for node %d must be ≥ 0", c.At, c.Node)
+			}
+			// A node in the t=0 Crashed mask is already down before the
+			// schedule starts; keeping its entry would make the oracle's
+			// injector cancel owned events the engine never scheduled.
+			if cfg.Crashed != nil && cfg.Crashed[c.Node] {
+				continue
+			}
+			keep = append(keep, c)
+		}
+		hz.crashes = fault.At(keep...)
+	}
+	return hz, nil
 }

@@ -8,6 +8,7 @@ import (
 
 	"wsnva/internal/cost"
 	"wsnva/internal/deploy"
+	"wsnva/internal/fault"
 	"wsnva/internal/flood"
 	"wsnva/internal/geom"
 	"wsnva/internal/radio"
@@ -177,6 +178,15 @@ func TestConfigValidation(t *testing.T) {
 		{Origins: []int{30}},
 		{Origins: []int{0, 1}, Floods: 3},
 		{Crashed: make([]bool, 3)},
+		{Loss: -0.1},
+		{Loss: 1},
+		{Loss: 0.2, Burst: fault.DefaultBurst()},
+		{Burst: fault.GilbertElliott{PGoodBad: 2, LossBad: 0.5}},
+		{Deplete: true},
+		{Deplete: true, Capacity: -5},
+		{Crashes: fault.Schedule{{Node: -1, At: 5}}},
+		{Crashes: fault.Schedule{{Node: 30, At: 5}}},
+		{Crashes: fault.Schedule{{Node: 0, At: -2}}},
 	}
 	for i, cfg := range bad {
 		if _, err := Run(nw, cfg); err == nil {

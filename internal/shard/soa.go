@@ -18,9 +18,17 @@ type State struct {
 	X []float64
 	Y []float64
 
-	// Alive is the fail-stop gate (false = radio off; set before the run
-	// from Config.Crashed, never flipped back).
+	// Alive is the fail-stop gate (false = radio off), cleared by t=0
+	// crash masks, scheduled mid-run crashes, and battery depletions; it
+	// never flips back.
 	Alive []bool
+
+	// GaspUntil extends a depleted node's life through its final instant:
+	// set to the depletion time t, the liveness gate still passes for
+	// events stamped exactly t (the dying-gasp instant), and fails from
+	// t+1 on. -1 (the default) means no gasp — a crashed node is silent
+	// at its crash instant already.
+	GaspUntil []sim.Time
 
 	// Battery is the remaining energy budget per node under
 	// Config.Capacity, filled in after the run from the folded ledger
@@ -58,6 +66,7 @@ func NewState(nw *deploy.Network) *State {
 		X:           make([]float64, n),
 		Y:           make([]float64, n),
 		Alive:       make([]bool, n),
+		GaspUntil:   make([]sim.Time, n),
 		Battery:     make([]int64, n),
 		Level:       make([]int32, n),
 		Heard:       make([]uint64, n),
@@ -71,21 +80,42 @@ func NewState(nw *deploy.Network) *State {
 		st.X[i] = nd.Pos.X
 		st.Y[i] = nd.Pos.Y
 		st.Alive[i] = true
+		st.GaspUntil[i] = -1
 		st.FirstAt[i] = -1
 	}
 	return st
 }
 
+// liveAt is the transmission/reception gate at instant now: up, or
+// depleting at this very instant (the dying gasp).
+func (st *State) liveAt(n int, now sim.Time) bool {
+	return st.Alive[n] || (st.GaspUntil[n] >= 0 && now <= st.GaspUntil[n])
+}
+
+// Deaths counts nodes that are down (crashed at t=0, crashed mid-run,
+// or depleted).
+func (st *State) Deaths() int {
+	d := 0
+	for _, a := range st.Alive {
+		if !a {
+			d++
+		}
+	}
+	return d
+}
+
 // Packet is one delivered message as the app sees it: the sender, the
-// size in cost-model data units, and the protocol key (the dissemination
-// app stores the flood index). Within one wake batch the (From, Key)
-// pair is unique — a node broadcasts a given key at most once per
-// instant — which is what lets the batch be sorted into a canonical
-// order independent of delivery interleaving.
+// size in cost-model data units, the protocol key (the dissemination
+// app stores the flood index; the labeling app a globally unique message
+// id), and an optional protocol payload carried by unicasts. Within one
+// wake batch the (From, Key) pair is unique — a node transmits a given
+// key at most once per instant — which is what lets the batch be sorted
+// into a canonical order independent of delivery interleaving.
 type Packet struct {
-	From int
-	Size int64
-	Key  int64
+	From    int
+	Size    int64
+	Key     int64
+	Payload any
 }
 
 // sortPackets orders a wake batch by (From, Key). Batches are small

@@ -5,10 +5,10 @@
 // event stream itself is lawful.
 //
 // The rules (see Run) encode invariants every engine in this repo must
-// uphold: deliveries pair with sends, receptions pair with transmissions,
-// the ledger total equals the sum of traced charges, dead nodes fall
-// silent, level-k traffic stays inside level-k blocks, and simulated time
-// never runs backwards.
+// uphold: deliveries pair with sends, receptions pair with transmissions
+// and never beat the channel's minimum latency, the ledger total equals
+// the sum of traced charges, dead nodes fall silent, level-k traffic
+// stays inside level-k blocks, and simulated time never runs backwards.
 //
 // Run never panics, whatever the input — adversarial and fuzzed traces
 // must be flagged, not crash the checker. The conservation rules assume a
@@ -33,13 +33,21 @@ type Options struct {
 	// of traced Charge events. Negative skips the conservation rule (for
 	// traces recorded without a ledger tracer attached).
 	LedgerTotal int64
+	// MinDelay is the radio's minimum transmission latency. Every Rx —
+	// and every dead-receiver Drop, which is judged at delivery time —
+	// must land at least MinDelay after the earliest matching Tx. Set it
+	// to the engine's lookahead to verify the conservative-window law
+	// offline: no delivery lands in a shard's executed past, because
+	// nothing arrives earlier than send + lookahead. Zero still forbids
+	// receptions that precede their transmission.
+	MinDelay sim.Time
 	// MaxViolations caps the report; 0 means 100.
 	MaxViolations int
 }
 
 // Violation is one broken invariant, anchored to the event that exposed it.
 type Violation struct {
-	Rule   string // "orphan-deliver", "orphan-rx", "conservation", "dead-after-death", "charge-after-depletion", "level-edge", "time-regression"
+	Rule   string // "orphan-deliver", "orphan-rx", "early-delivery", "conservation", "dead-after-death", "charge-after-depletion", "level-edge", "time-regression"
 	Seq    int64
 	At     sim.Time
 	Detail string
@@ -97,6 +105,10 @@ func activeKind(k trace.Kind) bool {
 //     Send or Retry with the same (from, to, bytes).
 //   - orphan-rx: every radio Rx must follow a Tx from its peer with the
 //     same payload size.
+//   - early-delivery: every Rx, and every dead-receiver Drop, lands no
+//     earlier than the peer's earliest matching Tx plus MinDelay — the
+//     trace-level form of the sharded engine's conservative-window
+//     guarantee that no delivery is scheduled into executed time.
 //   - dead-after-death: after a node's Death event, it emits no active
 //     events at any strictly later time. (Events at the death timestamp
 //     itself are lawful: depletion fires synchronously inside a granted
@@ -124,7 +136,7 @@ func Run(events []trace.Event, o Options) []Violation {
 	}
 
 	credits := make(map[pairKey]int)
-	txSeen := make(map[string]map[int64]bool) // node -> payload sizes transmitted
+	txSeen := make(map[string]map[int64]sim.Time) // node -> size -> earliest Tx time
 	deaths := make(map[string]sim.Time)
 	depletions := make(map[string]sim.Time)
 	var chargeSum int64
@@ -163,13 +175,29 @@ func Run(events []trace.Event, o Options) []Violation {
 		case trace.Tx:
 			sizes := txSeen[e.Node]
 			if sizes == nil {
-				sizes = make(map[int64]bool)
+				sizes = make(map[int64]sim.Time)
 				txSeen[e.Node] = sizes
 			}
-			sizes[e.Bytes] = true
+			if at, ok := sizes[e.Bytes]; !ok || e.At < at {
+				sizes[e.Bytes] = e.At
+			}
 		case trace.Rx:
-			if e.Peer == "" || !txSeen[e.Peer][e.Bytes] {
+			txAt, ok := txSeen[e.Peer][e.Bytes]
+			if e.Peer == "" || !ok {
 				add("orphan-rx", e, "rx at %s from %s bytes=%d without matching tx", e.Node, e.Peer, e.Bytes)
+			} else if e.At < txAt+o.MinDelay {
+				add("early-delivery", e, "rx at %s from %s bytes=%d at t=%d beats earliest tx t=%d + min delay %d",
+					e.Node, e.Peer, e.Bytes, e.At, txAt, o.MinDelay)
+			}
+		case trace.Drop:
+			// Lost-in-flight drops are emitted at the send instant and
+			// carry no delivery time; only dead-receiver drops are judged
+			// where the packet would have landed.
+			if e.Detail == "dead receiver" && e.Peer != "" {
+				if txAt, ok := txSeen[e.Peer][e.Bytes]; ok && e.At < txAt+o.MinDelay {
+					add("early-delivery", e, "dead-receiver drop at %s from %s bytes=%d at t=%d beats earliest tx t=%d + min delay %d",
+						e.Node, e.Peer, e.Bytes, e.At, txAt, o.MinDelay)
+				}
 			}
 		case trace.Charge:
 			chargeSum += e.Bytes

@@ -80,6 +80,47 @@ func TestOrphanRx(t *testing.T) {
 	wantRules(t, Run(events, Options{LedgerTotal: -1}), "orphan-rx", "orphan-rx")
 }
 
+func TestEarlyDelivery(t *testing.T) {
+	events := []trace.Event{
+		ev(trace.Tx, 2, "#1", "", 4),
+		ev(trace.Tx, 4, "#1", "", 4), // later tx of the same size never weakens the bound
+		ev(trace.Rx, 5, "#2", "#1", 4),
+		ev(trace.Rx, 6, "#3", "#1", 4),
+	}
+	// Arrivals at tx+3 satisfy a min delay of 3 against the earliest tx.
+	wantRules(t, Run(events, Options{LedgerTotal: -1, MinDelay: 3}))
+	// ...but not a min delay of 4.
+	vs := Run(events, Options{LedgerTotal: -1, MinDelay: 4})
+	wantRules(t, vs, "early-delivery")
+	if !strings.Contains(vs[0].Detail, "min delay 4") {
+		t.Errorf("detail: %s", vs[0].Detail)
+	}
+	// A dead-receiver drop is judged at delivery time too; a lost-in-flight
+	// drop is stamped at the send instant and must be skipped.
+	drops := []trace.Event{
+		ev(trace.Tx, 2, "#1", "", 4),
+		ev(trace.Drop, 2, "#2", "#1", 4),
+		ev(trace.Drop, 3, "#3", "#1", 4),
+	}
+	drops[1].Detail = "lost"
+	drops[2].Detail = "dead receiver"
+	wantRules(t, Run(drops, Options{LedgerTotal: -1, MinDelay: 1}))
+	drops[2].At = 2 // the packet would have landed in executed time
+	wantRules(t, Run(drops, Options{LedgerTotal: -1, MinDelay: 1}), "early-delivery")
+	// MinDelay 0 still forbids receptions that precede their transmission.
+	back := []trace.Event{
+		ev(trace.Tx, 5, "#1", "", 4),
+		ev(trace.Rx, 5, "#2", "#1", 4),
+	}
+	wantRules(t, Run(back, Options{LedgerTotal: -1}))
+	back[1].At = 4
+	vs = Run(back, Options{LedgerTotal: -1})
+	wantRules(t, vs, "time-regression", "early-delivery")
+	if !strings.Contains(vs[1].Detail, "beats earliest tx") {
+		t.Errorf("detail: %s", vs[1].Detail)
+	}
+}
+
 func TestDeadAfterDeath(t *testing.T) {
 	events := []trace.Event{
 		ev(trace.Charge, 5, "#3", "", 1),
