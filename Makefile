@@ -2,17 +2,18 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-short race race-core race-shard-faults bench bench-json bench-diff soak cover tables csv report fuzz examples clean
+.PHONY: all check build vet test test-short race race-core race-shard-faults race-churn bench bench-json bench-diff soak cover tables csv report fuzz examples clean
 
 all: build vet test
 
 # The full pre-merge gate: vet, build, an uncached race pass over the
 # concurrency-critical packages, a hazard-heavy multi-worker shard run
-# under the race detector, the whole test suite under the race
-# detector, one quick benchmark iteration to catch allocation or
-# wall-time blowups, a battery-depletion soak, and the observability
-# coverage floor before they land.
-check: vet build race-core race-shard-faults race bench soak cover
+# under the race detector, a churned multi-worker shard run plus the
+# churn differential suite under the race detector, the whole test
+# suite under the race detector, one quick benchmark iteration to catch
+# allocation or wall-time blowups, a battery-depletion soak, and the
+# observability coverage floor before they land.
+check: vet build race-core race-shard-faults race-churn race bench soak cover
 
 build:
 	$(GO) build ./...
@@ -45,6 +46,13 @@ race-core:
 # the dying-gasp paths all execute under real goroutine interleaving.
 race-shard-faults:
 	$(GO) test -race -count=1 -run 'TestShardFaultsRaceSmoke|TestQuickDifferential' ./internal/shard/
+
+# The churn plane under the race detector: an 8-shard 4-worker run with
+# a Poisson sleep/wake schedule armed (TestShardChurnRaceSmoke), the
+# deterministic churn differentials, and the emulation-side churn
+# mission with its bounded-recovery trace checks.
+race-churn:
+	$(GO) test -race -count=1 -run 'TestShardChurnRaceSmoke|TestChurn' ./internal/shard/ ./internal/emul/
 
 # Micro-benchmarks only (-run=^$$ skips the unit tests), with allocation
 # counts; short benchtime keeps this a quick regression pass. Compare the
@@ -114,6 +122,7 @@ fuzz:
 	$(GO) test -fuzz '^FuzzWindowBoundary$$' -fuzztime 30s ./internal/shard/
 	$(GO) test -fuzz FuzzLossyWindowBoundary -fuzztime 30s ./internal/shard/
 	$(GO) test -fuzz FuzzMidRunDeath -fuzztime 30s ./internal/shard/
+	$(GO) test -fuzz FuzzChurnRepair -fuzztime 30s ./internal/emul/
 
 examples:
 	$(GO) run ./examples/quickstart

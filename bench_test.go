@@ -67,9 +67,13 @@ func BenchmarkE18ReliableDelivery(b *testing.B) {
 func BenchmarkE19NetworkLifetime(b *testing.B) {
 	benchTable(b, experiments.E19NetworkLifetime)
 }
-func BenchmarkE20DepletionARQ(b *testing.B) { benchTable(b, experiments.E20DepletionARQ) }
+func BenchmarkE20DepletionARQ(b *testing.B)  { benchTable(b, experiments.E20DepletionARQ) }
 func BenchmarkE21ShardScaling(b *testing.B)  { benchTable(b, experiments.E21ShardScaling) }
 func BenchmarkE22HazardScaling(b *testing.B) { benchTable(b, experiments.E22HazardScaling) }
+func BenchmarkE23ChurnRepair(b *testing.B)   { benchTable(b, experiments.E23ChurnRepair) }
+func BenchmarkE24ChurnShardScaling(b *testing.B) {
+	benchTable(b, experiments.E24ChurnShardScaling)
+}
 func BenchmarkA1Mappers(b *testing.B)    { benchTable(b, experiments.A1MappingAblation) }
 func BenchmarkA2Workloads(b *testing.B)  { benchTable(b, experiments.A2FieldShapes) }
 func BenchmarkA3CostModels(b *testing.B) { benchTable(b, experiments.A3CostSensitivity) }

@@ -121,6 +121,8 @@ func main() {
 		{"E20", experiments.E20DepletionARQ},
 		{"E21", experiments.E21ShardScaling},
 		{"E22", experiments.E22HazardScaling},
+		{"E23", experiments.E23ChurnRepair},
+		{"E24", experiments.E24ChurnShardScaling},
 		{"A1", experiments.A1MappingAblation},
 		{"A2", experiments.A2FieldShapes},
 		{"A3", experiments.A3CostSensitivity},

@@ -10,12 +10,23 @@
 //	wsnsim [-side 8] [-density 6] [-seed 1] [-field blobs|gradient|stripes]
 //	       [-thresh 0.5] [-engine des|lockstep|goroutine|physical|shard]
 //	       [-loss 0] [-retries 0] [-crash-frac 0] [-crash-window 32]
+//	       [-churn-rate 0] [-duty-cycle period:on]
 //	       [-shards 0] [-workers 0] [-trace 0] [-trace-out trace.jsonl] [-metrics]
 //
 // -shards opts the program-injection phase into the sharded parallel
 // kernel (internal/shard): the image dissemination runs on that many
 // spatial shards over -workers goroutines. The default 0 keeps the
 // sequential single-kernel engine; results are identical either way.
+//
+// -churn-rate and -duty-cycle inject topology churn. On the physical
+// engine they turn the run into a churn mission: the schedule suspends
+// and resumes radios against the live runtime, each disturbance is
+// repaired incrementally, and labeling rounds interleave between
+// batches. On the shard engine the schedule rides the conservative
+// window protocol as cross-shard events; the result stays shard-count
+// invariant. -churn-rate r draws a Poisson process (expected r
+// transitions per time unit); -duty-cycle period:on puts every radio on
+// a staggered period with the given on-phase. Both may be combined.
 //
 // -engine shard runs the labeling application itself on the sharded
 // kernel (one node per virtual cell), honoring -shards/-workers, -loss
@@ -33,6 +44,7 @@ import (
 	"os"
 
 	"wsnva/internal/binding"
+	"wsnva/internal/churn"
 	"wsnva/internal/cost"
 	"wsnva/internal/deploy"
 	"wsnva/internal/emul"
@@ -63,6 +75,8 @@ func main() {
 	retries := flag.Int("retries", 0, "stop-and-wait retransmissions per message (goroutine engine only)")
 	crashFrac := flag.Float64("crash-frac", 0, "fraction of nodes that fail-stop mid-run (shard engine only)")
 	crashWindow := flag.Int64("crash-window", 32, "crash times are drawn uniformly from [0, window) (shard engine only)")
+	churnRate := flag.Float64("churn-rate", 0, "Poisson sleep/wake churn: expected radio transitions per time unit (physical and shard engines)")
+	dutyCycle := flag.String("duty-cycle", "", "duty-cycle every radio on a staggered period:on schedule, e.g. 64:48 (physical and shard engines)")
 	shards := flag.Int("shards", 0, "run program injection on this many spatial shards (0 = sequential kernel)")
 	workers := flag.Int("workers", 0, "goroutines driving the shards (0 = one per shard)")
 	traceN := flag.Int("trace", 0, "print the last N virtual-machine events (DES engine only)")
@@ -202,6 +216,38 @@ func main() {
 			physLedger.SetTracer(exp, med.Kernel().Now)
 		}
 		before := physLedger.Metrics().Total
+		if sched := churnPlan(*churnRate, *dutyCycle, nw.N(), churnHorizon, *seed+4); len(sched) > 0 {
+			// Churn mission: the schedule drives sleep/wake and
+			// depart/revive transitions against the live runtime, each
+			// followed by incremental repair; labeling rounds interleave to
+			// prove the repaired network still computes.
+			out, err := bndMachine.RunChurn(emul.ChurnConfig{Schedule: sched, Map: m, RoundEvery: 4})
+			if err != nil {
+				log.Fatalf("wsnsim: %v", err)
+			}
+			fmt.Printf("churn mission (physical runtime): %d disturbances — %d suspends, %d resumes, %d departures, %d arrivals\n",
+				len(out.Disturbances), out.Suspends, out.Resumes, out.Departures, out.Arrivals)
+			fmt.Printf("repair: %d routing broadcasts, max re-convergence latency %d, recovered=%v\n",
+				out.RepairMsgs, out.MaxLatency, out.AllRecovered)
+			fmt.Printf("labeling rounds interleaved: %d, final coverage %.2f\n",
+				out.Rounds, out.FinalCoverage)
+			fmt.Printf("mission energy on the real network: %d units\n",
+				physLedger.Metrics().Total-before)
+			if exp != nil {
+				exportTrace(*traceOut, exp)
+			}
+			if out.Final.Final == nil {
+				// A schedule that leaves radios asleep at the horizon (a
+				// duty-cycle whose last off-phase straddles it) can stall
+				// the concluding round — the repaired topology is fine, the
+				// labeling just ran against sleeping executors.
+				fmt.Printf("final labeling round STALLED: %d radios still asleep at the horizon\n",
+					stillDown(sched))
+				return
+			}
+			final = out.Final.Final
+			break
+		}
 		res, err := bndMachine.RunLabeling(m)
 		if err != nil {
 			log.Fatalf("wsnsim: %v", err)
@@ -223,16 +269,24 @@ func main() {
 			}
 			crashes = sched
 		}
+		// Churn horizon matching the crash window's scale: 4*side covers
+		// the labeling run's active phase on a one-node-per-cell engine.
+		sched := churnPlan(*churnRate, *dutyCycle, grid.N(), sim.Time(4*int64(*side)), *seed+4)
 		res, err := shard.RunLabeling(m, shard.LabelConfig{Config: shard.Config{
 			Shards:  *shards,
 			Workers: *workers,
 			Loss:    *loss,
 			Seed:    *seed,
 			Crashes: crashes,
+			Churn:   sched,
 			Trace:   *traceOut != "",
 		}})
 		if err != nil {
 			log.Fatalf("wsnsim: %v", err)
+		}
+		if len(sched) > 0 {
+			fmt.Printf("churn: %d scheduled transitions applied as %d suspends / %d resumes\n",
+				len(sched), res.Suspends, res.Resumes)
 		}
 		if *traceOut != "" {
 			if err := os.WriteFile(*traceOut, res.Trace, 0o644); err != nil {
@@ -243,8 +297,8 @@ func main() {
 		fmt.Printf("labeling (%s): %d msgs over %d hops, %d sent / %d delivered / %d dropped, %d deaths, energy %d\n",
 			engineName, res.Msgs, res.Hops, res.Sent, res.Delivered, res.Dropped, res.Deaths, res.Total)
 		if res.Final == nil {
-			fmt.Printf("labeling STALLED at t=%d: the single-shot reduction lost messages or relays (loss %.2f, %d deaths)\n",
-				res.Completion, *loss, res.Deaths)
+			fmt.Printf("labeling STALLED at t=%d: the single-shot reduction lost messages or relays (loss %.2f, %d deaths, %d suspends)\n",
+				res.Completion, *loss, res.Deaths, res.Suspends)
 			return
 		}
 		final = res.Final
@@ -274,6 +328,66 @@ func main() {
 		fmt.Printf("  region %3d: %3d cells, bbox cols %d-%d rows %d-%d\n",
 			r.Label, r.Cells, r.Box.MinCol, r.Box.MaxCol, r.Box.MinRow, r.Box.MaxRow)
 	}
+}
+
+// churnHorizon is the window the physical engine's churn flags cover:
+// long enough for several disturbance batches and interleaved labeling
+// rounds (matching the E23 sweep's horizon).
+const churnHorizon = sim.Time(400)
+
+// churnPlan assembles the schedule the churn flags describe for an
+// n-radio engine: a Poisson sleep/wake process, a staggered duty-cycle
+// over every node, or their merge.
+func churnPlan(rate float64, duty string, n int, horizon sim.Time, seed int64) churn.Schedule {
+	var parts []churn.Schedule
+	if rate > 0 {
+		parts = append(parts, churn.Poisson(n, rate, horizon, seed))
+	}
+	if duty != "" {
+		var period, on int64
+		if _, err := fmt.Sscanf(duty, "%d:%d", &period, &on); err != nil {
+			log.Fatalf("wsnsim: -duty-cycle wants period:on, got %q", duty)
+		}
+		nodes := make([]int, n)
+		for i := range nodes {
+			nodes[i] = i
+		}
+		parts = append(parts, churn.DutyCycle(nodes, sim.Time(period), sim.Time(on), horizon))
+	}
+	sched := churn.Merge(parts...)
+	// Close the mission out: wake whatever the schedule leaves asleep at
+	// the horizon, so the concluding labeling round measures the repaired
+	// network rather than the residual sleep set.
+	down := map[int]bool{}
+	for _, ev := range sched {
+		down[ev.Node] = ev.Op.Down()
+	}
+	var wake []int
+	for node := 0; node < n; node++ {
+		if down[node] {
+			wake = append(wake, node)
+		}
+	}
+	if len(wake) > 0 {
+		sched = churn.Merge(sched, churn.Arrivals(horizon+1, wake...))
+	}
+	return sched
+}
+
+// stillDown counts the nodes a schedule leaves suspended after its last
+// event (the schedule is time-sorted, so the last op per node decides).
+func stillDown(sched churn.Schedule) int {
+	last := map[int]bool{}
+	for _, ev := range sched {
+		last[ev.Node] = ev.Op.Down()
+	}
+	count := 0
+	for _, down := range last {
+		if down {
+			count++
+		}
+	}
+	return count
 }
 
 // exportTrace writes the tracer's events as JSONL and reports the export.

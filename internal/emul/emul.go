@@ -219,8 +219,14 @@ func (m *Machine) forward(id int, env appMsg) {
 	m.med.Unicast(id, next, env.msg.Size, env)
 }
 
-// onPacket receives application traffic at a physical node.
+// onPacket receives traffic at a physical node. Protocol packets chain
+// to the routing layer — the machine owns the medium's handlers, and
+// without the chain a repair's adoption cascade would fall on deaf
+// radios — and application traffic is forwarded toward its cell.
 func (m *Machine) onPacket(id int, pkt radio.Packet) {
+	if m.proto.Deliver(id, pkt) {
+		return
+	}
 	env, ok := pkt.Payload.(appMsg)
 	if !ok {
 		return
@@ -232,7 +238,7 @@ func (m *Machine) onPacket(id int, pkt radio.Packet) {
 // leader that died or was deposed while the message was in flight drops it
 // — the virtual process has moved (or died) with its executor.
 func (m *Machine) dispatch(id int, env appMsg) {
-	if !m.med.Alive(id) || m.bnd.Leaders[env.to] != id {
+	if !m.up(id) || m.bnd.Leaders[env.to] != id {
 		m.unrouted++
 		if m.tracer != nil {
 			m.tracer.EmitEvent(m.vevt(trace.Drop, env.to, env.msg.From, env.msg.Size, "unrouted: dead or deposed leader"))

@@ -23,11 +23,24 @@ func (m *Machine) Kill(id int) {
 	}
 	m.med.Kill(id)
 	m.proto.Kill(id)
-	cell := m.proto.CellOf(id)
-	if m.bnd.Leaders[cell] == id {
+	m.repairRoles(m.proto.CellOf(id))
+}
+
+// up reports whether node id is powered and awake — the liveness gate
+// role management consults. The radio's Alive alone keeps sleeping nodes
+// eligible, which a leader promotion must not do.
+func (m *Machine) up(id int) bool { return m.med.Alive(id) && !m.med.Suspended(id) }
+
+// repairRoles re-establishes one cell's executor and relay tree after a
+// liveness change: if the bound leader is down or asleep, the first up
+// member in deployment order — the same deterministic order every member
+// knows — is promoted, and the intra-cell tree is rebuilt over the up
+// members either way.
+func (m *Machine) repairRoles(cell geom.Coord) {
+	if cur, ok := m.bnd.Leaders[cell]; ok && !m.up(cur) {
 		idx := m.hier.Grid.Index(cell)
 		for _, cand := range m.med.Network().CellMembers(m.hier.Grid)[idx] {
-			if m.med.Alive(cand) {
+			if m.up(cand) {
 				m.bnd.Leaders[cell] = cand
 				m.failovers++
 				break
@@ -45,11 +58,12 @@ func (m *Machine) Failovers() int64 { return m.failovers }
 // or was deposed with the message in flight.
 func (m *Machine) Unrouted() int64 { return m.unrouted }
 
-// rebuildCell recomputes one cell's intra-cell relay tree over its alive
-// members, rooted at the current bound leader. Members the failures cut
-// off from the leader lose their next-hop entry, so forward drops their
-// traffic instead of looping or panicking. If the leader itself is dead
-// (the whole cell was lost), every entry is removed.
+// rebuildCell recomputes one cell's intra-cell relay tree over its up
+// (alive and awake) members, rooted at the current bound leader. Members
+// the failures cut off from the leader lose their next-hop entry, so
+// forward drops their traffic instead of looping or panicking. If the
+// leader itself is down (the whole cell was lost or sleeps), every entry
+// is removed.
 func (m *Machine) rebuildCell(cell geom.Coord) {
 	nw := m.med.Network()
 	g := m.hier.Grid
@@ -58,12 +72,12 @@ func (m *Machine) rebuildCell(cell geom.Coord) {
 		delete(m.toLeader, id)
 	}
 	leader := m.bnd.Leaders[cell]
-	if !m.med.Alive(leader) {
+	if !m.up(leader) {
 		return
 	}
 	inCell := make(map[int]bool, len(cellNodes))
 	for _, id := range cellNodes {
-		if m.med.Alive(id) {
+		if m.up(id) {
 			inCell[id] = true
 		}
 	}

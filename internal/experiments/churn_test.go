@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestE23GoldenCSV pins the churn repair sweep byte-for-byte against a
+// committed golden file: disturbance schedules, repair traffic, and
+// re-convergence latencies are pure functions of the seeds, so the quick
+// table must never drift. Regenerate deliberately with
+// UPDATE_GOLDEN=1 go test ./internal/experiments after an intentional
+// behavior change.
+func TestE23GoldenCSV(t *testing.T) {
+	got := E23ChurnRepair(Options{Quick: true}).CSV()
+	path := filepath.Join("testdata", "e23_quick.golden.csv")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Fatalf("E23 quick CSV drifted from golden file %s\n--- got ---\n%s--- want ---\n%s",
+			path, got, want)
+	}
+}
+
+// TestE23Recovered checks the sweep's headline property directly: the
+// recovery predicate holds and the final round covers the full grid at
+// every churn rate in the quick sweep.
+func TestE23Recovered(t *testing.T) {
+	tab := E23ChurnRepair(Options{Quick: true})
+	out := tab.String()
+	if strings.Contains(out, "false") {
+		t.Errorf("a churn mission failed to recover or to cover the grid:\n%s", out)
+	}
+}
+
+// TestE23ProportionalRepair pins the tentpole's cost claim on the full
+// sweep: quadrupling the network (side 4 → side 8, same density) must
+// not quadruple the per-flip repair cost — repair traffic tracks the
+// disturbance, not the network. The bound of 2 is loose (observed ~1.2×,
+// from the extra teachers a denser neighborhood contributes) but rules
+// out any repair that re-floods the whole grid.
+func TestE23ProportionalRepair(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep")
+	}
+	tab := E23ChurnRepair(Options{})
+	perFlip := map[string]float64{}
+	for _, row := range tab.Rows() {
+		if row[2] != "0.200" {
+			continue
+		}
+		v, err := strconv.ParseFloat(row[7], 64)
+		if err != nil {
+			t.Fatalf("msgs/flip cell %q: %v", row[7], err)
+		}
+		perFlip[row[0]] = v
+	}
+	small, large := perFlip["4"], perFlip["8"]
+	if small <= 0 || large <= 0 {
+		t.Fatalf("missing rate-0.2 rows: %v", perFlip)
+	}
+	if large > 2*small {
+		t.Errorf("per-flip repair cost scaled with network size: side 4 = %.2f, side 8 = %.2f", small, large)
+	}
+}
+
+// TestE24Table pins the churned scaling sweep's correctness column:
+// every (scenario, shards, workers) cell must reproduce its scenario
+// oracle's checksum, and the churn machinery must actually bite
+// (nonzero suspends in every scenario).
+func TestE24Table(t *testing.T) {
+	tab := E24ChurnShardScaling(Options{Quick: true})
+	if tab.NumRows() != 4 { // 1 grid x 2 scenarios x 2 configs
+		t.Fatalf("rows = %d, want 4", tab.NumRows())
+	}
+	out := tab.String()
+	if strings.Contains(out, "false") {
+		t.Errorf("a sharded churn run diverged from its oracle:\n%s", out)
+	}
+	for _, scenario := range []string{"poisson", "churn+loss+crash"} {
+		if !strings.Contains(out, scenario) {
+			t.Errorf("scenario %q missing:\n%s", scenario, out)
+		}
+	}
+}

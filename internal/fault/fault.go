@@ -170,11 +170,26 @@ type TargetFunc func(node int)
 // Kill implements Target.
 func (f TargetFunc) Kill(node int) { f(node) }
 
+// Suspender is the reversible counterpart of Target: a subsystem whose
+// silence can be imposed and lifted again (the radio's tri-state alive
+// gate). Unlike Kill, Suspend carries no event-cancellation finality —
+// the node's owned timers keep their kernel slots — so a Resume restores
+// the node to exactly the state it slept in.
+type Suspender interface {
+	Suspend(node int)
+	Resume(node int)
+}
+
 // Injector arms crash schedules on a kernel and tracks liveness.
 type Injector struct {
 	kernel *sim.Kernel
 	dead   []bool
-	killed int
+	// asleep distinguishes sleeping from dead: a sleeping node is
+	// silenced on its Suspender targets but not killed — no events are
+	// cancelled, and Resume lifts the silence. Dead trumps asleep.
+	asleep   []bool
+	killed   int
+	sleeping int
 }
 
 // NewInjector returns an injector for n nodes over kernel k.
@@ -185,11 +200,23 @@ func NewInjector(k *sim.Kernel, n int) *Injector {
 	return &Injector{kernel: k, dead: make([]bool, n)}
 }
 
-// Alive reports whether node is still up.
+// Alive reports whether node is still up (sleeping counts as alive).
 func (in *Injector) Alive(node int) bool { return !in.dead[node] }
+
+// Asleep reports whether node is suspended (alive but silenced).
+func (in *Injector) Asleep(node int) bool {
+	return in.asleep != nil && in.asleep[node] && !in.dead[node]
+}
+
+// Up reports whether node is alive and not suspended — the gate a
+// protocol should consult before expecting the node to participate.
+func (in *Injector) Up(node int) bool { return !in.dead[node] && !in.Asleep(node) }
 
 // Killed returns how many nodes have died so far.
 func (in *Injector) Killed() int { return in.killed }
+
+// Sleeping returns how many nodes are currently suspended.
+func (in *Injector) Sleeping() int { return in.sleeping }
 
 // N returns the number of nodes the injector tracks.
 func (in *Injector) N() int { return len(in.dead) }
@@ -202,10 +229,52 @@ func (in *Injector) kill(node int, targets []Target) {
 	}
 	in.dead[node] = true
 	in.killed++
+	if in.asleep != nil && in.asleep[node] {
+		// Death is final and absorbs the sleep: the node will never
+		// resume, so it no longer counts as sleeping.
+		in.asleep[node] = false
+		in.sleeping--
+	}
 	for _, t := range targets {
 		t.Kill(node)
 	}
 	in.kernel.CancelOwner(node)
+}
+
+// Suspend silences node reversibly on every target: the node sleeps — it
+// is not dead, its owned events stay scheduled, and Resume wakes it.
+// Suspending a dead or sleeping node is a no-op.
+func (in *Injector) Suspend(node int, targets ...Suspender) {
+	if node < 0 || node >= len(in.dead) {
+		panic(fmt.Sprintf("fault: suspend for node %d outside [0,%d)", node, len(in.dead)))
+	}
+	if in.dead[node] || (in.asleep != nil && in.asleep[node]) {
+		return
+	}
+	if in.asleep == nil {
+		in.asleep = make([]bool, len(in.dead))
+	}
+	in.asleep[node] = true
+	in.sleeping++
+	for _, t := range targets {
+		t.Suspend(node)
+	}
+}
+
+// Resume lifts a suspension on every target. Resuming a dead or awake
+// node is a no-op: death is final, and a double wake must not ripple.
+func (in *Injector) Resume(node int, targets ...Suspender) {
+	if node < 0 || node >= len(in.dead) {
+		panic(fmt.Sprintf("fault: resume for node %d outside [0,%d)", node, len(in.dead)))
+	}
+	if in.dead[node] || in.asleep == nil || !in.asleep[node] {
+		return
+	}
+	in.asleep[node] = false
+	in.sleeping--
+	for _, t := range targets {
+		t.Resume(node)
+	}
 }
 
 // Fail kills node immediately, outside any armed schedule: marks it dead,

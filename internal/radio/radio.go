@@ -105,6 +105,13 @@ type Medium struct {
 	// the liveness gate still passes for events at that exact timestamp —
 	// the battery layer's dying-gasp instant. -1 means no expiry.
 	gasp []sim.Time
+	// asleep, when allocated, is the reversible third state of the
+	// liveness gate: a suspended node neither transmits nor receives
+	// (deliveries drop without an Rx charge), but unlike Kill the
+	// silence ends when Resume clears the flag. Dead trumps asleep:
+	// Suspend/Resume on a dead node are no-ops, and Kill of a sleeping
+	// node is final as usual.
+	asleep []bool
 
 	sent      int64 // broadcasts initiated
 	delivered int64 // per-neighbor successful deliveries
@@ -252,14 +259,52 @@ func (m *Medium) Expire(node int) {
 	}
 }
 
-// Alive reports whether node's radio is still up.
+// Suspend puts node's radio to sleep: a reversible silence during which
+// it neither transmits nor receives, with no event-cancellation finality
+// — timers owned by the node keep their slots and fire on schedule (their
+// handlers see the radio down). Suspending a dead or already-sleeping
+// node is a no-op. Suspend implements the fault layer's Suspender.
+func (m *Medium) Suspend(node int) {
+	if !m.alive[node] || (m.asleep != nil && m.asleep[node]) {
+		return
+	}
+	if m.asleep == nil {
+		m.asleep = make([]bool, m.nw.N())
+	}
+	m.asleep[node] = true
+	if m.tracer != nil {
+		m.emit(trace.Sleep, node, -1, 0, "radio sleep")
+	}
+}
+
+// Resume wakes a suspended radio. With no packets in flight the resumed
+// node is byte-identical to one that never slept: Suspend/Resume touch
+// only the asleep flag, never the RNG, the ledger, or the kernel queue.
+// Resuming a dead or awake node is a no-op.
+func (m *Medium) Resume(node int) {
+	if !m.alive[node] || m.asleep == nil || !m.asleep[node] {
+		return
+	}
+	m.asleep[node] = false
+	if m.tracer != nil {
+		m.emit(trace.Wake, node, -1, 0, "radio wake")
+	}
+}
+
+// Suspended reports whether node's radio is asleep (alive but silenced).
+func (m *Medium) Suspended(node int) bool {
+	return m.asleep != nil && m.asleep[node] && m.alive[node]
+}
+
+// Alive reports whether node's radio is still up (sleeping counts as
+// alive — the silence is reversible).
 func (m *Medium) Alive(node int) bool { return m.alive[node] }
 
-// liveAt is the transmission/reception gate: up, or expiring at this
-// very instant (the dying gasp).
+// liveAt is the transmission/reception gate: up and not asleep, or
+// expiring at this very instant (the dying gasp).
 func (m *Medium) liveAt(node int) bool {
 	if m.alive[node] {
-		return true
+		return m.asleep == nil || !m.asleep[node]
 	}
 	return m.gasp != nil && m.gasp[node] >= 0 && m.kernel.Now() <= m.gasp[node]
 }
@@ -457,11 +502,16 @@ func (m *Medium) isNeighbor(from, to int) bool {
 
 func (m *Medium) deliver(to int, pkt Packet) {
 	if !m.liveAt(to) {
-		// The receiver died while the packet was in flight: no Rx charge
-		// (the radio is off), no handler, counted as a drop.
+		// The receiver died or went to sleep while the packet was in
+		// flight: no Rx charge (the radio is off), no handler, counted
+		// as a drop.
 		m.dropped++
 		if m.tracer != nil {
-			m.emit(trace.Drop, to, pkt.From, pkt.Size, "dead receiver")
+			detail := "dead receiver"
+			if m.alive[to] {
+				detail = "asleep receiver"
+			}
+			m.emit(trace.Drop, to, pkt.From, pkt.Size, detail)
 		}
 		if m.mDrop != nil {
 			m.mDrop.Inc(to)

@@ -357,3 +357,109 @@ func TestMinDelayFloorsEveryDraw(t *testing.T) {
 		}
 	}
 }
+
+func TestSuspendSilencesBothDirections(t *testing.T) {
+	nw := chain(t)
+	m, k, l := newMedium(t, nw, Config{})
+	heard := map[int]int{}
+	for id := 0; id < nw.N(); id++ {
+		id := id
+		m.Handle(id, func(p Packet) { heard[id]++ })
+	}
+	m.Suspend(1)
+	if !m.Alive(1) || !m.Suspended(1) {
+		t.Fatalf("suspended node: Alive=%v Suspended=%v, want true/true", m.Alive(1), m.Suspended(1))
+	}
+	// A sleeping node does not transmit (no Tx charge, no fan-out)...
+	if got := m.Broadcast(1, 1, "x"); got != 0 {
+		t.Errorf("sleeping broadcast queued %d deliveries, want 0", got)
+	}
+	if l.Energy(1) != 0 {
+		t.Errorf("sleeping sender charged %d", l.Energy(1))
+	}
+	// ...and does not receive (delivery dropped, no Rx charge).
+	m.Broadcast(0, 1, "y")
+	k.Run()
+	if heard[1] != 0 {
+		t.Errorf("sleeping node heard %d packets", heard[1])
+	}
+	if l.Energy(1) != 0 {
+		t.Errorf("sleeping receiver charged %d", l.Energy(1))
+	}
+	_, _, dropped := m.Stats()
+	if dropped != 1 {
+		t.Errorf("dropped = %d, want 1", dropped)
+	}
+}
+
+func TestResumeRestoresTraffic(t *testing.T) {
+	nw := chain(t)
+	m, k, _ := newMedium(t, nw, Config{})
+	heard := 0
+	m.Handle(1, func(p Packet) { heard++ })
+	m.Suspend(1)
+	m.Resume(1)
+	if m.Suspended(1) {
+		t.Fatal("resumed node still suspended")
+	}
+	m.Broadcast(0, 1, "y")
+	k.Run()
+	if heard != 1 {
+		t.Errorf("resumed node heard %d packets, want 1", heard)
+	}
+}
+
+// TestResumedNodeByteIdenticalToNeverSlept is the satellite regression:
+// with no packets in flight across the sleep, a suspend/resume cycle
+// leaves the medium byte-identical to one where the node never slept —
+// same RNG stream, same ledger, same counters, same delivery schedule.
+func TestResumedNodeByteIdenticalToNeverSlept(t *testing.T) {
+	run := func(sleep bool) (sent, delivered, dropped int64, energy [4]int64, heard [4]int) {
+		nw := chain(t)
+		m, k, l := newMedium(t, nw, Config{Delay: UniformDelay{Model: cost.NewUniform(), Jitter: 3}})
+		for id := 0; id < nw.N(); id++ {
+			id := id
+			m.Handle(id, func(p Packet) { heard[id]++ })
+		}
+		m.Broadcast(0, 2, "a")
+		k.Run() // quiesce: nothing in flight
+		if sleep {
+			m.Suspend(2)
+			m.Resume(2)
+		}
+		m.Broadcast(2, 2, "b")
+		m.Unicast(1, 2, 1, "c")
+		k.Run()
+		s, d, dr := m.Stats()
+		for id := 0; id < nw.N(); id++ {
+			energy[id] = int64(l.Energy(id))
+		}
+		return s, d, dr, energy, heard
+	}
+	s1, d1, dr1, e1, h1 := run(false)
+	s2, d2, dr2, e2, h2 := run(true)
+	if s1 != s2 || d1 != d2 || dr1 != dr2 || e1 != e2 || h1 != h2 {
+		t.Errorf("resumed run diverged: sent %d/%d delivered %d/%d dropped %d/%d energy %v/%v heard %v/%v",
+			s1, s2, d1, d2, dr1, dr2, e1, e2, h1, h2)
+	}
+}
+
+func TestSuspendResumeOnDeadIsNoOp(t *testing.T) {
+	nw := chain(t)
+	m, _, _ := newMedium(t, nw, Config{})
+	m.Kill(1)
+	m.Suspend(1)
+	if m.Suspended(1) {
+		t.Error("dead node reports suspended")
+	}
+	m.Resume(1) // must not revive
+	if m.Alive(1) {
+		t.Error("resume revived a dead node")
+	}
+	// Kill of a sleeping node is final.
+	m.Suspend(2)
+	m.Kill(2)
+	if m.Alive(2) || m.Suspended(2) {
+		t.Errorf("killed sleeping node: Alive=%v Suspended=%v, want false/false", m.Alive(2), m.Suspended(2))
+	}
+}

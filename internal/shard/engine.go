@@ -6,6 +6,7 @@ import (
 	"strconv"
 
 	"wsnva/internal/battery"
+	"wsnva/internal/churn"
 	"wsnva/internal/cost"
 	"wsnva/internal/deploy"
 	"wsnva/internal/fault"
@@ -33,6 +34,7 @@ type xmsg struct {
 type hazards struct {
 	channel  *fault.StreamChannel
 	crashes  fault.Schedule
+	churn    churn.Schedule
 	capacity cost.Energy
 }
 
@@ -94,6 +96,8 @@ type shardRun struct {
 	sent      int64
 	delivered int64
 	dropped   int64
+	suspends  int64
+	resumes   int64
 	last      sim.Time // time of the last event this shard fired
 
 	freeFan []*fanout
@@ -168,7 +172,45 @@ func newEngine(nw *deploy.Network, st *State, part *Partition, model *cost.Model
 			sr.kill(c.Node)
 		})
 	}
+	// Churn transitions are pre-scheduled the same way — per victim's
+	// owner shard, after the crashes, so a same-instant crash beats a
+	// same-instant sleep or wake by sequence number on both paths (the
+	// oracle arms its injector before scheduling churn too).
+	for _, ce := range hz.churn {
+		ce := ce
+		sr := e.shards[part.Owner[ce.Node]]
+		sr.kern.At(ce.At, func() {
+			sr.last = sr.kern.Now()
+			sr.churn(ce.Node, ce.Op.Down())
+		})
+	}
 	return e
+}
+
+// churn applies one reversible radio transition, mirroring
+// radio.Medium.Suspend/Resume: a sleep of a dead or sleeping node and a
+// wake of a dead or awake node are silent no-ops.
+func (s *shardRun) churn(node int, down bool) {
+	st := s.eng.st
+	if down {
+		if !st.Alive[node] || st.Suspended[node] {
+			return
+		}
+		st.Suspended[node] = true
+		s.suspends++
+		if s.tracer != nil {
+			s.emit(trace.Sleep, node, -1, 0, "radio sleep")
+		}
+		return
+	}
+	if !st.Alive[node] || !st.Suspended[node] {
+		return
+	}
+	st.Suspended[node] = false
+	s.resumes++
+	if s.tracer != nil {
+		s.emit(trace.Wake, node, -1, 0, "radio wake")
+	}
 }
 
 // kill is the fail-stop crash: the radio goes silent immediately —
@@ -427,7 +469,13 @@ func (s *shardRun) deliver(to, from int, size, key int64, payload any) {
 	if !st.liveAt(to, s.kern.Now()) {
 		s.dropped++
 		if s.tracer != nil {
-			s.emit(trace.Drop, to, from, size, "dead receiver")
+			// Same split as radio.Medium: an alive-but-suspended receiver
+			// reports the reversible drop reason.
+			detail := "dead receiver"
+			if st.Alive[to] {
+				detail = "asleep receiver"
+			}
+			s.emit(trace.Drop, to, from, size, detail)
 		}
 		return
 	}

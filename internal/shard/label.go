@@ -221,9 +221,12 @@ type LabelResult struct {
 	Delivered int64
 	Dropped   int64
 	Deaths    int
-	Energy    []cost.Energy
-	Total     cost.Energy
-	Battery   []int64
+	// Suspends and Resumes count churn transitions actually applied.
+	Suspends int64
+	Resumes  int64
+	Energy   []cost.Energy
+	Total    cost.Energy
+	Battery  []int64
 	// Trace is the canonical JSONL trace (nil unless Trace).
 	Trace []byte
 }
@@ -255,6 +258,11 @@ func (r *LabelResult) Checksum() uint64 {
 	mix(uint64(r.Delivered))
 	mix(uint64(r.Dropped))
 	mix(uint64(r.Deaths))
+	// Gated as in Result.Checksum: churn-free digests are unchanged.
+	if r.Suspends != 0 || r.Resumes != 0 {
+		mix(uint64(r.Suspends))
+		mix(uint64(r.Resumes))
+	}
 	for _, e := range r.Energy {
 		mix(uint64(e))
 	}
@@ -313,8 +321,8 @@ func RunLabeling(m *field.BinaryMap, cfg LabelConfig) (*LabelResult, error) {
 		// Every unicast hop emits a Tx plus one Rx-or-Drop; total hops
 		// are bounded by 3n (each level-k sender travels < 2^(k+1) hops
 		// and sender counts shrink geometrically), plus one Death and
-		// one Deplete per node.
-		traceCap = 8*n + 64
+		// one Deplete per node and one Sleep or Wake per churn entry.
+		traceCap = 8*n + len(cfg.Churn) + 64
 	}
 	var apps []*labelApp
 	mk := func(int) app {
@@ -349,6 +357,8 @@ func RunLabeling(m *field.BinaryMap, cfg LabelConfig) (*LabelResult, error) {
 		Delivered:  rs.delivered,
 		Dropped:    rs.dropped,
 		Deaths:     st.Deaths(),
+		Suspends:   rs.suspends,
+		Resumes:    rs.resumes,
 		Energy:     make([]cost.Energy, n),
 		Battery:    st.Battery,
 	}

@@ -33,6 +33,9 @@ type singleFab struct {
 	bank   *battery.Bank
 	hz     hazards
 	tracer *trace.Tracer
+
+	suspends int64
+	resumes  int64
 }
 
 // wirePkt carries a unicast's (key, payload) pair across the medium,
@@ -105,6 +108,32 @@ func (f *singleFab) run(a app, crashed []bool) sim.Time {
 			f.st.Alive[node] = false
 			f.st.timerSet[node] = false
 		}))
+	}
+	// Churn transitions, scheduled after the crashes so a same-instant
+	// crash fires first — matching the engine's pre-scheduling order.
+	// The medium flips its own tri-state gate (and emits the Sleep/Wake
+	// trace events); the SoA mirror keeps runWake's liveness gate and
+	// the final state in step with it.
+	for _, ce := range f.hz.churn {
+		ce := ce
+		kern := f.med.Kernel()
+		kern.At(ce.At, func() {
+			if ce.Op.Down() {
+				if !f.st.Alive[ce.Node] || f.st.Suspended[ce.Node] {
+					return
+				}
+				f.med.Suspend(ce.Node)
+				f.st.Suspended[ce.Node] = true
+				f.suspends++
+				return
+			}
+			if !f.st.Alive[ce.Node] || !f.st.Suspended[ce.Node] {
+				return
+			}
+			f.med.Resume(ce.Node)
+			f.st.Suspended[ce.Node] = false
+			f.resumes++
+		})
 	}
 	for id := 0; id < n; id++ {
 		id := id

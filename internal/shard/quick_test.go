@@ -7,6 +7,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"wsnva/internal/churn"
 	"wsnva/internal/cost"
 	"wsnva/internal/deploy"
 	"wsnva/internal/fault"
@@ -27,9 +28,9 @@ func randomMap(side int, rng *rand.Rand) *field.BinaryMap {
 
 // randomHazards rolls the stochastic and fail-stop knobs for one
 // differential trial: a loss model (none, Bernoulli, or bursty
-// Gilbert–Elliott), a mid-run crash schedule, and a battery budget with
-// depletion armed. Every combination must leave the sharded run
-// byte-identical to the oracle.
+// Gilbert–Elliott), a mid-run crash schedule, a battery budget with
+// depletion armed, and a Poisson duty-cycle churn schedule. Every
+// combination must leave the sharded run byte-identical to the oracle.
 func randomHazards(cfg *Config, n int, rng *rand.Rand) {
 	switch rng.Intn(3) {
 	case 1:
@@ -48,6 +49,12 @@ func randomHazards(cfg *Config, n int, rng *rand.Rand) {
 		// protocol activity survives it.
 		cfg.Capacity = cost.Energy(5 + rng.Intn(40))
 		cfg.Deplete = true
+	}
+	if rng.Intn(2) == 1 {
+		// Duty-cycle churn: Poisson sleep/wake toggles across the flood
+		// window, so suspended receivers drop traffic mid-run and resume
+		// with their flood state intact.
+		cfg.Churn = churn.Poisson(n, 0.1+0.4*rng.Float64(), 60, rng.Int63())
 	}
 }
 

@@ -3,6 +3,7 @@ package shard
 import (
 	"fmt"
 
+	"wsnva/internal/churn"
 	"wsnva/internal/cost"
 	"wsnva/internal/deploy"
 	"wsnva/internal/fault"
@@ -42,6 +43,16 @@ type Config struct {
 	// Crash events fire before any same-instant delivery or wake, on
 	// both execution paths.
 	Crashes fault.Schedule
+
+	// Churn schedules reversible radio suspensions and resumptions
+	// (duty-cycle sleep/wake; departures and arrivals are the same
+	// transition held longer). A suspended node neither sends nor
+	// receives — deliveries drop with "asleep receiver" — but keeps its
+	// state and timers and rejoins silently on resume. Events are
+	// pre-scheduled into each victim's owner shard exactly like Crashes,
+	// so the same schedule replays identically on the oracle and on
+	// every shard count.
+	Churn churn.Schedule
 
 	// Loss is the per-delivery Bernoulli drop probability in [0,1),
 	// drawn from a counter-keyed per-sender stream (fault.StreamChannel)
@@ -100,6 +111,10 @@ type Result struct {
 	// Deaths counts nodes down at the end of the run: the Crashed mask,
 	// fired Crashes entries, and battery depletions.
 	Deaths int
+	// Suspends and Resumes count churn transitions actually applied (a
+	// sleep of a dead or sleeping node is a no-op on both paths).
+	Suspends int64
+	Resumes  int64
 	// Energy is the per-node energy spend; Total its sum.
 	Energy []cost.Energy
 	Total  cost.Energy
@@ -139,6 +154,13 @@ func (r *Result) Checksum() uint64 {
 	mix(uint64(r.Dropped))
 	mix(uint64(r.Completion))
 	mix(uint64(r.Deaths))
+	// Churn counters join the digest only when churn actually flipped
+	// something, so churn-free checksums — including every pinned golden
+	// from before churn existed — are unchanged.
+	if r.Suspends != 0 || r.Resumes != 0 {
+		mix(uint64(r.Suspends))
+		mix(uint64(r.Resumes))
+	}
 	for _, e := range r.Energy {
 		mix(uint64(e))
 	}
@@ -166,6 +188,8 @@ type runStats struct {
 	sent       int64
 	delivered  int64
 	dropped    int64
+	suspends   int64
+	resumes    int64
 	completion sim.Time
 	ledger     *cost.Ledger
 	events     []trace.Event
@@ -185,6 +209,7 @@ func execute(nw *deploy.Network, st *State, model *cost.Model, part *Partition,
 		sent, delivered, dropped := fab.med.Stats()
 		return runStats{
 			sent: sent, delivered: delivered, dropped: dropped,
+			suspends: fab.suspends, resumes: fab.resumes,
 			completion: completion,
 			ledger:     fab.med.Ledger(),
 			events:     fab.tracer.Events(),
@@ -201,6 +226,8 @@ func execute(nw *deploy.Network, st *State, model *cost.Model, part *Partition,
 		rs.sent += sr.sent
 		rs.delivered += sr.delivered
 		rs.dropped += sr.dropped
+		rs.suspends += sr.suspends
+		rs.resumes += sr.resumes
 		rs.ledger.Add(sr.ledger)
 		rs.events = append(rs.events, sr.tracer.Events()...)
 		rs.lost += sr.tracer.Lost()
@@ -275,12 +302,13 @@ func Run(nw *deploy.Network, cfg Config) (*Result, error) {
 		// flood at most once, and one broadcast emits one Tx plus one
 		// Rx-or-Drop per neighbor (a loss draw swaps an Rx for a Drop,
 		// never adds an event); add one potential Death and one
-		// potential Deplete per node.
+		// potential Deplete per node, plus one Sleep or Wake per churn
+		// entry.
 		sumDeg := 0
 		for i := 0; i < n; i++ {
 			sumDeg += nw.Degree(i)
 		}
-		traceCap = k*(n+sumDeg) + 2*n + 1
+		traceCap = k*(n+sumDeg) + 2*n + len(cfg.Churn) + 1
 	}
 	var apps []*dissApp
 	mk := func(int) app {
@@ -316,6 +344,8 @@ func Run(nw *deploy.Network, cfg Config) (*Result, error) {
 		Dropped:    rs.dropped,
 		Completion: rs.completion,
 		Deaths:     st.Deaths(),
+		Suspends:   rs.suspends,
+		Resumes:    rs.resumes,
 		Energy:     make([]cost.Energy, n),
 		Heard:      st.Heard,
 		Level:      st.Level,
@@ -387,6 +417,12 @@ func buildHazards(n int, cfg *Config) (hazards, error) {
 			keep = append(keep, c)
 		}
 		hz.crashes = fault.At(keep...)
+	}
+	if len(cfg.Churn) > 0 {
+		if err := cfg.Churn.Validate(n); err != nil {
+			return hz, err
+		}
+		hz.churn = cfg.Churn.Normalize()
 	}
 	return hz, nil
 }

@@ -23,6 +23,13 @@ type State struct {
 	// never flips back.
 	Alive []bool
 
+	// Suspended is the reversible churn gate: true while a node's radio
+	// duty-cycles off. A suspended node neither sends nor receives but
+	// keeps its state and timers; Config.Churn toggles the flag on the
+	// node's owner shard. Only consulted for alive nodes — dead beats
+	// asleep, exactly as in radio.Medium.
+	Suspended []bool
+
 	// GaspUntil extends a depleted node's life through its final instant:
 	// set to the depletion time t, the liveness gate still passes for
 	// events stamped exactly t (the dying-gasp instant), and fails from
@@ -66,6 +73,7 @@ func NewState(nw *deploy.Network) *State {
 		X:           make([]float64, n),
 		Y:           make([]float64, n),
 		Alive:       make([]bool, n),
+		Suspended:   make([]bool, n),
 		GaspUntil:   make([]sim.Time, n),
 		Battery:     make([]int64, n),
 		Level:       make([]int32, n),
@@ -86,10 +94,16 @@ func NewState(nw *deploy.Network) *State {
 	return st
 }
 
-// liveAt is the transmission/reception gate at instant now: up, or
-// depleting at this very instant (the dying gasp).
+// liveAt is the transmission/reception gate at instant now: up and not
+// suspended, or depleting at this very instant (the dying gasp). The
+// branch order mirrors radio.Medium.liveAt exactly: for an alive node
+// only the suspension flag matters, and a dead node's gasp overrides
+// whatever suspension state it died with.
 func (st *State) liveAt(n int, now sim.Time) bool {
-	return st.Alive[n] || (st.GaspUntil[n] >= 0 && now <= st.GaspUntil[n])
+	if st.Alive[n] {
+		return !st.Suspended[n]
+	}
+	return st.GaspUntil[n] >= 0 && now <= st.GaspUntil[n]
 }
 
 // Deaths counts nodes that are down (crashed at t=0, crashed mid-run,

@@ -146,6 +146,10 @@ func (t *Table) AddRow(cells ...any) {
 // NumRows returns the number of data rows.
 func (t *Table) NumRows() int { return len(t.rows) }
 
+// Rows returns the formatted data rows (cells as AddRow rendered them).
+// The slice is the table's own backing store; callers must not mutate it.
+func (t *Table) Rows() [][]string { return t.rows }
+
 // String renders the table with aligned columns.
 func (t *Table) String() string {
 	widths := make([]int, len(t.Headers))

@@ -18,6 +18,7 @@ package check
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 
 	"wsnva/internal/sim"
@@ -41,13 +42,25 @@ type Options struct {
 	// nothing arrives earlier than send + lookahead. Zero still forbids
 	// receptions that precede their transmission.
 	MinDelay sim.Time
+	// RecoveryWindow, when positive, arms the bounded-recovery rule:
+	// every Churn event must be answered by a Recover event (whose
+	// Bytes field names the disturbance time it answers) no later than
+	// the disturbance time plus the window. Zero disables the rule.
+	RecoveryWindow sim.Time
+	// RepairHops, when positive, arms the repair-locality rule: every
+	// Repair event must carry Level <= RepairHops (its emitter's cell
+	// distance from the disturbance) and must occur while a disturbance
+	// is outstanding — repair traffic may not originate outside the
+	// disturbance's k-hop neighborhood, nor without a disturbance.
+	// Zero disables the rule.
+	RepairHops int
 	// MaxViolations caps the report; 0 means 100.
 	MaxViolations int
 }
 
 // Violation is one broken invariant, anchored to the event that exposed it.
 type Violation struct {
-	Rule   string // "orphan-deliver", "orphan-rx", "early-delivery", "conservation", "dead-after-death", "charge-after-depletion", "level-edge", "time-regression"
+	Rule   string // "orphan-deliver", "orphan-rx", "early-delivery", "conservation", "dead-after-death", "charge-after-depletion", "level-edge", "time-regression", "bounded-recovery", "repair-locality"
 	Seq    int64
 	At     sim.Time
 	Detail string
@@ -123,6 +136,13 @@ func activeKind(k trace.Kind) bool {
 //     in the same level-k block (coordinates equal after shifting off k
 //     bits), with coordinates inside the grid when Side is set.
 //   - conservation: the sum of Charge event payloads equals LedgerTotal.
+//   - bounded-recovery (RecoveryWindow > 0): every Churn event is answered
+//     by a Recover event carrying the disturbance time in Bytes, at most
+//     RecoveryWindow after the disturbance; a Recover answering no open
+//     disturbance is itself flagged.
+//   - repair-locality (RepairHops > 0): every Repair event occurs while a
+//     disturbance is open and carries Level (cell distance from the
+//     disturbance) at most RepairHops.
 func Run(events []trace.Event, o Options) []Violation {
 	max := o.MaxViolations
 	if max <= 0 {
@@ -139,6 +159,7 @@ func Run(events []trace.Event, o Options) []Violation {
 	txSeen := make(map[string]map[int64]sim.Time) // node -> size -> earliest Tx time
 	deaths := make(map[string]sim.Time)
 	depletions := make(map[string]sim.Time)
+	var openChurn map[sim.Time]trace.Event // disturbance time -> first Churn event
 	var chargeSum int64
 	var lastAt sim.Time
 	for _, e := range events {
@@ -191,12 +212,12 @@ func Run(events []trace.Event, o Options) []Violation {
 			}
 		case trace.Drop:
 			// Lost-in-flight drops are emitted at the send instant and
-			// carry no delivery time; only dead-receiver drops are judged
-			// where the packet would have landed.
-			if e.Detail == "dead receiver" && e.Peer != "" {
+			// carry no delivery time; only dead- and asleep-receiver
+			// drops are judged where the packet would have landed.
+			if (e.Detail == "dead receiver" || e.Detail == "asleep receiver") && e.Peer != "" {
 				if txAt, ok := txSeen[e.Peer][e.Bytes]; ok && e.At < txAt+o.MinDelay {
-					add("early-delivery", e, "dead-receiver drop at %s from %s bytes=%d at t=%d beats earliest tx t=%d + min delay %d",
-						e.Node, e.Peer, e.Bytes, e.At, txAt, o.MinDelay)
+					add("early-delivery", e, "%s drop at %s from %s bytes=%d at t=%d beats earliest tx t=%d + min delay %d",
+						e.Detail, e.Node, e.Peer, e.Bytes, e.At, txAt, o.MinDelay)
 				}
 			}
 		case trace.Charge:
@@ -209,6 +230,47 @@ func Run(events []trace.Event, o Options) []Violation {
 			if _, ok := depletions[identity(e)]; !ok {
 				depletions[identity(e)] = e.At
 			}
+		case trace.Churn:
+			if o.RecoveryWindow > 0 || o.RepairHops > 0 {
+				if openChurn == nil {
+					openChurn = make(map[sim.Time]trace.Event)
+				}
+				if _, ok := openChurn[e.At]; !ok {
+					openChurn[e.At] = e
+				}
+			}
+		case trace.Repair:
+			if o.RepairHops > 0 {
+				if len(openChurn) == 0 {
+					add("repair-locality", e, "repair from %s with no open disturbance", identity(e))
+				} else if e.Level > o.RepairHops {
+					add("repair-locality", e, "repair from %s %d cells from the disturbance exceeds bound %d",
+						identity(e), e.Level, o.RepairHops)
+				}
+			}
+		case trace.Recover:
+			if o.RecoveryWindow > 0 || o.RepairHops > 0 {
+				churnAt := sim.Time(e.Bytes)
+				if _, ok := openChurn[churnAt]; !ok {
+					add("bounded-recovery", e, "recover answers no open disturbance at t=%d", churnAt)
+					break
+				}
+				delete(openChurn, churnAt)
+				if o.RecoveryWindow > 0 && e.At > churnAt+o.RecoveryWindow {
+					add("bounded-recovery", e, "disturbance at t=%d recovered at t=%d, past window %d",
+						churnAt, e.At, o.RecoveryWindow)
+				}
+			}
+		}
+	}
+	if o.RecoveryWindow > 0 && len(openChurn) > 0 {
+		open := make([]sim.Time, 0, len(openChurn))
+		for at := range openChurn {
+			open = append(open, at)
+		}
+		sort.Slice(open, func(i, j int) bool { return open[i] < open[j] })
+		for _, at := range open {
+			add("bounded-recovery", openChurn[at], "disturbance at t=%d never recovered", at)
 		}
 	}
 	if o.LedgerTotal >= 0 && chargeSum != o.LedgerTotal && len(out) < max {

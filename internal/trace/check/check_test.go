@@ -242,3 +242,118 @@ func TestEmptyTrace(t *testing.T) {
 	wantRules(t, Run(nil, Options{LedgerTotal: 0}))
 	wantRules(t, Run(nil, Options{LedgerTotal: 5}), "conservation")
 }
+
+// churnEv builds a churn-plane event: Churn marks a disturbance, Repair
+// carries the emitter's cell distance in level, Recover names the
+// disturbance time it answers in bytes.
+func churnEv(kind trace.Kind, at sim.Time, node string, level int, bytes int64) trace.Event {
+	e := ev(kind, at, node, "", bytes)
+	e.Level = level
+	return e
+}
+
+func TestBoundedRecoveryLawful(t *testing.T) {
+	events := []trace.Event{
+		churnEv(trace.Churn, 10, "#3", 0, 1),
+		churnEv(trace.Repair, 11, "#4", 1, 0),
+		churnEv(trace.Repair, 12, "#5", 2, 0),
+		churnEv(trace.Recover, 14, "", 0, 10),
+	}
+	wantRules(t, Run(events, Options{LedgerTotal: -1, RecoveryWindow: 8, RepairHops: 2}))
+}
+
+func TestBoundedRecoveryMissing(t *testing.T) {
+	events := []trace.Event{
+		churnEv(trace.Churn, 10, "#3", 0, 1),
+	}
+	vs := Run(events, Options{LedgerTotal: -1, RecoveryWindow: 8})
+	wantRules(t, vs, "bounded-recovery")
+	if !strings.Contains(vs[0].Detail, "never recovered") {
+		t.Errorf("detail: %s", vs[0].Detail)
+	}
+}
+
+func TestBoundedRecoveryLate(t *testing.T) {
+	events := []trace.Event{
+		churnEv(trace.Churn, 10, "#3", 0, 1),
+		churnEv(trace.Recover, 30, "", 0, 10),
+	}
+	vs := Run(events, Options{LedgerTotal: -1, RecoveryWindow: 8})
+	wantRules(t, vs, "bounded-recovery")
+	if !strings.Contains(vs[0].Detail, "past window") {
+		t.Errorf("detail: %s", vs[0].Detail)
+	}
+}
+
+func TestBoundedRecoverySpuriousRecover(t *testing.T) {
+	events := []trace.Event{
+		churnEv(trace.Recover, 30, "", 0, 10),
+	}
+	vs := Run(events, Options{LedgerTotal: -1, RecoveryWindow: 8})
+	wantRules(t, vs, "bounded-recovery")
+	if !strings.Contains(vs[0].Detail, "no open disturbance") {
+		t.Errorf("detail: %s", vs[0].Detail)
+	}
+}
+
+func TestBoundedRecoveryUnrecoveredReportOrder(t *testing.T) {
+	// Two unrecovered disturbances must be reported oldest first,
+	// regardless of map iteration order.
+	events := []trace.Event{
+		churnEv(trace.Churn, 10, "#3", 0, 1),
+		churnEv(trace.Churn, 20, "#4", 0, 1),
+	}
+	vs := Run(events, Options{LedgerTotal: -1, RecoveryWindow: 8})
+	wantRules(t, vs, "bounded-recovery", "bounded-recovery")
+	if vs[0].At != 10 || vs[1].At != 20 {
+		t.Errorf("report order: t=%d then t=%d, want 10 then 20", vs[0].At, vs[1].At)
+	}
+}
+
+func TestRepairLocalityExceedsBound(t *testing.T) {
+	events := []trace.Event{
+		churnEv(trace.Churn, 10, "#3", 0, 1),
+		churnEv(trace.Repair, 11, "#9", 5, 0),
+		churnEv(trace.Recover, 12, "", 0, 10),
+	}
+	vs := Run(events, Options{LedgerTotal: -1, RecoveryWindow: 8, RepairHops: 2})
+	wantRules(t, vs, "repair-locality")
+	if !strings.Contains(vs[0].Detail, "exceeds bound") {
+		t.Errorf("detail: %s", vs[0].Detail)
+	}
+}
+
+func TestRepairLocalityUnprompted(t *testing.T) {
+	events := []trace.Event{
+		churnEv(trace.Repair, 11, "#9", 1, 0),
+	}
+	vs := Run(events, Options{LedgerTotal: -1, RepairHops: 2})
+	wantRules(t, vs, "repair-locality")
+	if !strings.Contains(vs[0].Detail, "no open disturbance") {
+		t.Errorf("detail: %s", vs[0].Detail)
+	}
+}
+
+func TestChurnRulesDisabledByDefault(t *testing.T) {
+	// Without RecoveryWindow/RepairHops the churn kinds are inert:
+	// existing traces (and tools replaying them) see no new rules.
+	events := []trace.Event{
+		churnEv(trace.Churn, 10, "#3", 0, 1),
+		churnEv(trace.Repair, 11, "#9", 99, 0),
+		churnEv(trace.Recover, 99, "", 0, 77),
+	}
+	wantRules(t, Run(events, Options{LedgerTotal: -1}))
+}
+
+func TestAsleepReceiverDropJudgedAtDelivery(t *testing.T) {
+	events := []trace.Event{
+		ev(trace.Tx, 0, "#3", "", 4),
+		func() trace.Event {
+			e := ev(trace.Drop, 1, "#5", "#3", 4)
+			e.Detail = "asleep receiver"
+			return e
+		}(),
+	}
+	vs := Run(events, Options{LedgerTotal: -1, MinDelay: 3})
+	wantRules(t, vs, "early-delivery")
+}

@@ -50,6 +50,20 @@ const (
 	Charge   // cost: an energy charge was granted (Bytes holds the energy)
 	Deplete  // battery: a node's drain crossed its budget
 	Death    // a node fail-stopped (crash or depletion)
+
+	// Churn kinds (PR 8). Sleep/Wake are the radio's reversible
+	// suspend/resume gate — unlike Death they do not end a node's
+	// trace lifetime, so the dead-after-death rule ignores them.
+	// Churn marks a disturbance batch (Bytes holds the batch size),
+	// Repair a repair transmission seeded by it (Level holds the
+	// emitter's cell distance from the disturbance), and Recover the
+	// restoration of the recovery predicate (Bytes holds the
+	// disturbance time it answers, for the bounded-recovery rule).
+	Sleep
+	Wake
+	Churn
+	Repair
+	Recover
 	numKinds
 )
 
@@ -97,6 +111,16 @@ func (k Kind) String() string {
 		return "deplete"
 	case Death:
 		return "death"
+	case Sleep:
+		return "sleep"
+	case Wake:
+		return "wake"
+	case Churn:
+		return "churn"
+	case Repair:
+		return "repair"
+	case Recover:
+		return "recover"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }

@@ -28,6 +28,7 @@ package vtopo
 
 import (
 	"fmt"
+	"sort"
 
 	"wsnva/internal/geom"
 	"wsnva/internal/radio"
@@ -65,6 +66,12 @@ type Protocol struct {
 	suppressed int64 // deliveries ignored for crossing a cell boundary
 	adopted    int64 // table entries learned from neighbors
 	lastChange sim.Time
+
+	// onBroadcast, when set, observes every routing-table broadcast as
+	// it is transmitted. The churn harness uses it to attribute repair
+	// traffic to a disturbance and tag each message with its cell
+	// distance from the disturbed region.
+	onBroadcast func(id int)
 }
 
 // New prepares the protocol state over medium med for virtual grid grid.
@@ -131,8 +138,28 @@ func (p *Protocol) scheduleBroadcast(id int) {
 			return
 		}
 		p.broadcasts++
+		if p.onBroadcast != nil {
+			p.onBroadcast(id)
+		}
 		p.med.Broadcast(id, rtMsgSize, rtMsg{cell: p.cellOf[id], table: p.tables[id]})
 	})
+}
+
+// SetOnBroadcast attaches an observer called with the sender's id on
+// every routing-table broadcast, at transmission time (nil detaches).
+func (p *Protocol) SetOnBroadcast(fn func(id int)) { p.onBroadcast = fn }
+
+// Deliver feeds a received radio packet to the protocol, reporting
+// whether it was protocol traffic. A host that re-owns the medium's
+// receive handlers (the physical machine installs its own to route
+// application traffic) chains to Deliver first, so table repair keeps
+// cascading adoptions after the application takes over the radio.
+func (p *Protocol) Deliver(id int, pkt radio.Packet) bool {
+	if _, ok := pkt.Payload.(rtMsg); !ok {
+		return false
+	}
+	p.onPacket(id, pkt)
+	return true
 }
 
 func (p *Protocol) onPacket(id int, pkt radio.Packet) {
@@ -187,6 +214,20 @@ func (p *Protocol) Kill(ids ...int) {
 	}
 }
 
+// Revive clears the dead mark on nodes whose silence has ended — a
+// resumed radio waking from a duty cycle, or a newly arrived node. It
+// restores no routing state: entries elsewhere may still name the node's
+// pre-sleep neighbors, and the revived node's own table is stale. Call
+// RepairAround with the revived nodes to re-converge the neighborhood.
+func (p *Protocol) Revive(ids ...int) {
+	for _, id := range ids {
+		p.dead[id] = false
+	}
+}
+
+// Down reports whether node id is marked dead at the protocol layer.
+func (p *Protocol) Down(id int) bool { return p.dead[id] }
+
 // RepairIncremental reconverges after failures without a global re-run:
 // only the members of cells that lost a node, plus alive direct neighbors
 // of dead nodes, reset and re-broadcast. Routing chains never leave a cell,
@@ -214,14 +255,99 @@ func (p *Protocol) RepairIncremental() Metrics {
 			affected[id] = true
 		}
 	}
+	return p.repairRun(affected, nil, start)
+}
+
+// RepairAround reconverges the neighborhood of an explicit disturbance —
+// the nodes that just departed, arrived, slept, or woke — rather than
+// re-deriving it from the global dead set. Affected nodes (the alive
+// members of every disturbed node's cell, plus alive direct neighbors of
+// every disturbed node, plus the disturbed nodes themselves when alive)
+// re-seed their base entries and re-broadcast; their alive same-cell
+// direct neighbors act as teachers, re-broadcasting their intact tables
+// once without resetting, so learned entries the reset wiped are
+// re-adopted and the affected region converges back to the protocol's
+// fixpoint on the current live graph. Message cost scales with the
+// disturbance size, never the network: every transmission originates in
+// a cell the disturbance touches (see Metrics.Touched).
+func (p *Protocol) RepairAround(disturbed ...int) Metrics {
+	start := p.med.Kernel().Now()
+	p.lastChange = start
+	nw := p.med.Network()
+	cells := make(map[geom.Coord]bool)
+	affected := make(map[int]bool)
+	for _, id := range disturbed {
+		cells[p.cellOf[id]] = true
+		for _, nbr := range nw.Neighbors(id) {
+			if !p.dead[nbr] {
+				affected[nbr] = true
+			}
+		}
+		if !p.dead[id] {
+			affected[id] = true
+		}
+	}
+	for id := range p.tables {
+		if !p.dead[id] && cells[p.cellOf[id]] {
+			affected[id] = true
+		}
+	}
+	teachers := make(map[int]bool)
 	for id := range affected {
+		for _, nbr := range nw.Neighbors(id) {
+			if !p.dead[nbr] && !affected[nbr] && p.cellOf[nbr] == p.cellOf[id] {
+				teachers[nbr] = true
+			}
+		}
+	}
+	return p.repairRun(affected, teachers, start)
+}
+
+// repairRun is the shared repair tail: re-seed and re-broadcast the
+// affected nodes in ascending id order (deterministic replay), have the
+// teachers re-broadcast without resetting, drain the kernel, and report
+// metrics extended with the set of cells the repair touched.
+func (p *Protocol) repairRun(affected, teachers map[int]bool, start sim.Time) Metrics {
+	ids := make([]int, 0, len(affected))
+	for id := range affected {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
 		p.seedBase(id)
 	}
-	for id := range affected {
+	for _, id := range ids {
+		p.scheduleBroadcast(id)
+	}
+	tids := make([]int, 0, len(teachers))
+	for id := range teachers {
+		tids = append(tids, id)
+	}
+	sort.Ints(tids)
+	for _, id := range tids {
 		p.scheduleBroadcast(id)
 	}
 	p.med.Kernel().Run()
-	return p.metrics(start)
+	m := p.metrics(start)
+	touched := make(map[geom.Coord]bool, len(affected))
+	for id := range affected {
+		touched[p.cellOf[id]] = true
+	}
+	for id := range teachers {
+		touched[p.cellOf[id]] = true
+	}
+	m.Touched = make([]geom.Coord, 0, len(touched))
+	for c := range touched {
+		m.Touched = append(m.Touched, c)
+	}
+	sort.Slice(m.Touched, func(i, j int) bool {
+		if m.Touched[i].Row != m.Touched[j].Row {
+			return m.Touched[i].Row < m.Touched[j].Row
+		}
+		return m.Touched[i].Col < m.Touched[j].Col
+	})
+	m.TouchedCells = len(m.Touched)
+	return m
 }
 
 // Reinforce runs one periodic re-execution round on the current state:
@@ -242,7 +368,11 @@ func (p *Protocol) Reinforce() Metrics {
 	return p.metrics(start)
 }
 
-// Metrics summarizes one protocol execution.
+// Metrics summarizes one protocol execution. The first six fields
+// predate the repair instrumentation and keep their exact meaning; the
+// touched-cells fields are appended and populated only by the repair
+// entry points (Run and Reinforce touch every cell by construction and
+// leave them zero).
 type Metrics struct {
 	Broadcasts  int64    // routing-table broadcasts transmitted
 	Suppressed  int64    // receptions dropped at a cell boundary
@@ -250,6 +380,9 @@ type Metrics struct {
 	SetupTime   sim.Time // time from start to the last table change
 	Unreachable int      // (node, direction) pairs left NULL toward in-bounds cells
 	Complete    bool     // true when Unreachable == 0
+
+	TouchedCells int          // cells the repair re-seeded or re-taught
+	Touched      []geom.Coord // those cells, sorted by (row, col)
 }
 
 func (p *Protocol) metrics(start sim.Time) Metrics {

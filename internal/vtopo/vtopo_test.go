@@ -295,3 +295,155 @@ func TestTableAccessors(t *testing.T) {
 		}
 	}
 }
+
+// entrySetMatrix snapshots which (node, dir) entries are set — the
+// protocol's fixpoint is characterized by this matrix (which neighbor an
+// entry names depends on adoption order, the set-ness does not).
+func entrySetMatrix(p *Protocol, n int) [][geom.NumDirs]bool {
+	out := make([][geom.NumDirs]bool, n)
+	for id := 0; id < n; id++ {
+		for d := geom.North; d < geom.NumDirs; d++ {
+			out[id][d] = p.NextHop(id, d) != NoNode
+		}
+	}
+	return out
+}
+
+func TestKillReviveRepairRestoresFixpoint(t *testing.T) {
+	// Kill a set, repair, revive it, repair again: the entry-set matrix
+	// must return to the never-killed fixpoint, and every path must be
+	// valid — the bounded-recovery invariant's table-consistency half.
+	p, nw, g, _ := setup(t, 4, 240, 11, 7)
+	if m := p.Run(); !m.Complete {
+		t.Fatal("initial run incomplete")
+	}
+	before := entrySetMatrix(p, nw.N())
+
+	members := nw.CellMembers(g)
+	var victims []int
+	for _, m := range members {
+		if len(m) >= 4 {
+			victims = append(victims, m[0], m[1])
+			break
+		}
+	}
+	if victims == nil {
+		t.Fatal("no crowded cell found")
+	}
+	p.Kill(victims...)
+	down := p.RepairAround(victims...)
+	if !down.Complete {
+		t.Fatalf("repair after kill left %d unreachable", down.Unreachable)
+	}
+	p.Revive(victims...)
+	up := p.RepairAround(victims...)
+	if !up.Complete {
+		t.Fatalf("repair after revive left %d unreachable", up.Unreachable)
+	}
+	after := entrySetMatrix(p, nw.N())
+	for id := range before {
+		if before[id] != after[id] {
+			t.Errorf("node %d entry-set %v after revive, want %v", id, after[id], before[id])
+		}
+	}
+	for id := 0; id < nw.N(); id++ {
+		for d := geom.North; d < geom.NumDirs; d++ {
+			if !g.InBounds(p.CellOf(id).Step(d)) {
+				continue
+			}
+			if _, err := p.ForwardPath(id, d); err != nil {
+				t.Fatalf("node %d dir %v after revive+repair: %v", id, d, err)
+			}
+		}
+	}
+}
+
+func TestRepairAroundTouchedCellsAreLocal(t *testing.T) {
+	// The touched set must contain the victim's cell and stay within
+	// the disturbance's neighborhood — never the whole grid.
+	p, nw, g, _ := setup(t, 6, 540, 11, 3)
+	if m := p.Run(); !m.Complete {
+		t.Fatal("initial run incomplete")
+	}
+	members := nw.CellMembers(g)
+	victim := -1
+	for _, m := range members {
+		if len(m) >= 4 {
+			victim = m[0]
+			break
+		}
+	}
+	p.Kill(victim)
+	rep := p.RepairAround(victim)
+	if rep.TouchedCells == 0 || rep.TouchedCells != len(rep.Touched) {
+		t.Fatalf("TouchedCells=%d len(Touched)=%d", rep.TouchedCells, len(rep.Touched))
+	}
+	vc := p.CellOf(victim)
+	foundOwn := false
+	for _, c := range rep.Touched {
+		dc, dr := c.Col-vc.Col, c.Row-vc.Row
+		if dc < 0 {
+			dc = -dc
+		}
+		if dr < 0 {
+			dr = -dr
+		}
+		if dc > 2 || dr > 2 {
+			t.Errorf("touched cell %v is %d,%d cells from victim cell %v", c, dc, dr, vc)
+		}
+		if c == vc {
+			foundOwn = true
+		}
+	}
+	if !foundOwn {
+		t.Error("victim's own cell not in touched set")
+	}
+	if rep.TouchedCells >= g.N() {
+		t.Errorf("repair touched all %d cells", rep.TouchedCells)
+	}
+	// RepairIncremental reports touched cells too (the satellite fix).
+	p2, nw2, g2, _ := setup(t, 4, 240, 11, 7)
+	p2.Run()
+	m2 := nw2.CellMembers(g2)
+	var v2 int
+	for _, m := range m2 {
+		if len(m) >= 4 {
+			v2 = m[0]
+			break
+		}
+	}
+	p2.Kill(v2)
+	ri := p2.RepairIncremental()
+	if ri.TouchedCells == 0 || len(ri.Touched) != ri.TouchedCells {
+		t.Errorf("RepairIncremental TouchedCells=%d Touched=%v", ri.TouchedCells, ri.Touched)
+	}
+}
+
+func TestRepairBroadcastHookSeesEveryBroadcast(t *testing.T) {
+	p, nw, g, _ := setup(t, 4, 240, 11, 7)
+	full := p.Run()
+	members := nw.CellMembers(g)
+	victim := -1
+	for _, m := range members {
+		if len(m) >= 4 {
+			victim = m[0]
+			break
+		}
+	}
+	p.Kill(victim)
+	var hooked int64
+	p.SetOnBroadcast(func(id int) {
+		if id == victim {
+			t.Errorf("dead node %d broadcast during repair", victim)
+		}
+		hooked++
+	})
+	rep := p.RepairAround(victim)
+	p.SetOnBroadcast(nil)
+	if got := rep.Broadcasts - full.Broadcasts; got != hooked {
+		t.Errorf("hook saw %d broadcasts, metrics counted %d", hooked, got)
+	}
+	if hooked == 0 {
+		t.Error("repair sent no broadcasts")
+	}
+}
