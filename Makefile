@@ -2,18 +2,19 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-short race race-core race-shard-faults race-churn bench bench-json bench-diff soak cover tables csv report fuzz examples clean
+.PHONY: all check build vet test test-short race race-core race-shard-faults race-churn race-serve bench bench-json bench-diff bench-serve soak cover tables csv report fuzz examples clean
 
 all: build vet test
 
 # The full pre-merge gate: vet, build, an uncached race pass over the
 # concurrency-critical packages, a hazard-heavy multi-worker shard run
 # under the race detector, a churned multi-worker shard run plus the
-# churn differential suite under the race detector, the whole test
-# suite under the race detector, one quick benchmark iteration to catch
+# churn differential suite under the race detector, the mission server
+# under multi-tenant load with the race detector, the whole test suite
+# under the race detector, one quick benchmark iteration to catch
 # allocation or wall-time blowups, a battery-depletion soak, and the
 # observability coverage floor before they land.
-check: vet build race-core race-shard-faults race-churn race bench soak cover
+check: vet build race-core race-shard-faults race-churn race-serve race bench soak cover
 
 build:
 	$(GO) build ./...
@@ -53,6 +54,14 @@ race-shard-faults:
 # mission with its bounded-recovery trace checks.
 race-churn:
 	$(GO) test -race -count=1 -run 'TestShardChurnRaceSmoke|TestChurn' ./internal/shard/ ./internal/emul/
+
+# The mission server under the race detector: N concurrent tenants
+# hammering the scheduler with admission caps asserted (no tenant
+# starves, queue bound respected), concurrent identical submissions
+# coalescing onto one flight, and the full e2e lifecycle with its
+# streaming path.
+race-serve:
+	$(GO) test -race -count=1 -run 'TestRace|TestE2E|TestQuickServerMatchesDirect' ./internal/serve/
 
 # Micro-benchmarks only (-run=^$$ skips the unit tests), with allocation
 # counts; short benchtime keeps this a quick regression pass. Compare the
@@ -101,6 +110,12 @@ bench-diff:
 	$(GO) run ./cmd/benchtab -parallel 1 -repeat 3 -bench-json BENCH_2.json > /dev/null
 	$(GO) run ./cmd/benchtab -compare -tolerance 10 BENCH_1.json BENCH_2.json
 
+# Mission-server load test: cold vs cached waves against an in-process
+# server over real HTTP, refreshing the committed BENCH_3.json latency
+# baseline (p50/p99/mean per phase, benchtab -compare compatible).
+bench-serve:
+	$(GO) run ./cmd/wsnserve -selftest -bench-json BENCH_3.json
+
 # Regenerate every experiment table (E1-E21, A1-A3).
 tables:
 	$(GO) run ./cmd/benchtab
@@ -123,6 +138,7 @@ fuzz:
 	$(GO) test -fuzz FuzzLossyWindowBoundary -fuzztime 30s ./internal/shard/
 	$(GO) test -fuzz FuzzMidRunDeath -fuzztime 30s ./internal/shard/
 	$(GO) test -fuzz FuzzChurnRepair -fuzztime 30s ./internal/emul/
+	$(GO) test -fuzz FuzzMissionSpec -fuzztime 30s ./internal/serve/
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -1,0 +1,261 @@
+// Package loadgen drives a mission server with concurrent clients and
+// measures what the content-addressed cache buys: the same mission set
+// is submitted twice, once cold (every request simulates) and once
+// cached (every request is a digest lookup), and the report carries
+// requests/sec plus p50/p99 latency for both phases. The ratio between
+// the two is the cache's throughput multiplier — the number BENCH_3.json
+// commits and `benchtab -compare` gates.
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Config parameterizes one load run. Zero values select the defaults.
+type Config struct {
+	// BaseURL locates the server, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Client issues the requests (default http.DefaultClient).
+	Client *http.Client
+	// Missions is the number of distinct mission specs (default 16) —
+	// seeds 1..Missions over one small labeling workload, so the cold
+	// phase simulates Missions times.
+	Missions int
+	// Repeats is how many times the cached phase resubmits each mission
+	// (default 8).
+	Repeats int
+	// Clients is the number of concurrent requesters (default 8); each
+	// presents its own X-Tenant so the run exercises the per-tenant
+	// admission path without tripping it.
+	Clients int
+	// Side is the mission grid side (default 16). The default is sized
+	// so one cold mission costs real simulation time on a single core —
+	// the speedup a cache can show is bounded by how much work it skips.
+	Side int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Client == nil {
+		c.Client = http.DefaultClient
+	}
+	if c.Missions <= 0 {
+		c.Missions = 16
+	}
+	if c.Repeats <= 0 {
+		c.Repeats = 8
+	}
+	if c.Clients <= 0 {
+		c.Clients = 8
+	}
+	if c.Side <= 0 {
+		c.Side = 16
+	}
+	return c
+}
+
+// Phase is one measured request wave.
+type Phase struct {
+	Name      string  `json:"name"`
+	Requests  int     `json:"requests"`
+	Errors    int     `json:"errors"`
+	WallNanos int64   `json:"wall_ns"`
+	MeanNanos int64   `json:"mean_ns"`
+	P50Nanos  int64   `json:"p50_ns"`
+	P99Nanos  int64   `json:"p99_ns"`
+	RPS       float64 `json:"rps"`
+}
+
+// Report is a completed load run: the cold wave (cache empty, every
+// request simulates) and the cached wave (every request hits).
+type Report struct {
+	Missions int   `json:"missions"`
+	Repeats  int   `json:"repeats"`
+	Clients  int   `json:"clients"`
+	Side     int   `json:"side"`
+	Cold     Phase `json:"cold"`
+	Cached   Phase `json:"cached"`
+}
+
+// Speedup is the cached-over-cold throughput multiplier.
+func (r *Report) Speedup() float64 {
+	if r.Cold.RPS <= 0 {
+		return 0
+	}
+	return r.Cached.RPS / r.Cold.RPS
+}
+
+// specJSON builds the i'th mission: one small labeling workload where
+// only the seed varies, so every mission digests differently but costs
+// the same.
+func specJSON(side int, seed int) []byte {
+	return []byte(fmt.Sprintf(
+		`{"workload":"labeling","side":%d,"field":"blobs","thresh":0.5,"seed":%d}`,
+		side, seed))
+}
+
+// Run executes the two waves against cfg.BaseURL and returns the
+// measurements. An error means the server was unreachable or answered a
+// submission with a non-200 status — a load run against a broken server
+// is not a measurement.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	rep := &Report{
+		Missions: cfg.Missions, Repeats: cfg.Repeats,
+		Clients: cfg.Clients, Side: cfg.Side,
+	}
+
+	cold := make([][]byte, cfg.Missions)
+	for i := range cold {
+		cold[i] = specJSON(cfg.Side, i+1)
+	}
+	var err error
+	rep.Cold, err = wave(cfg, "cold", cold)
+	if err != nil {
+		return nil, err
+	}
+
+	cached := make([][]byte, 0, cfg.Missions*cfg.Repeats)
+	for rep := 0; rep < cfg.Repeats; rep++ {
+		cached = append(cached, cold...)
+	}
+	rep.Cached, err = wave(cfg, "cached", cached)
+	if err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// wave submits every spec once, spread across cfg.Clients concurrent
+// tenants, and aggregates latency.
+func wave(cfg Config, name string, specs [][]byte) (Phase, error) {
+	type res struct {
+		d   time.Duration
+		err error
+	}
+	results := make([]res, len(specs))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(tenant string) {
+			defer wg.Done()
+			for i := range next {
+				t0 := time.Now()
+				results[i].err = submit(cfg.Client, cfg.BaseURL, tenant, specs[i])
+				results[i].d = time.Since(t0)
+			}
+		}(fmt.Sprintf("load-%d", c))
+	}
+	for i := range specs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	wall := time.Since(start)
+
+	ph := Phase{Name: name, Requests: len(specs), WallNanos: wall.Nanoseconds()}
+	lat := make([]int64, 0, len(specs))
+	var sum int64
+	for _, r := range results {
+		if r.err != nil {
+			ph.Errors++
+			if ph.Errors == 1 {
+				return ph, fmt.Errorf("loadgen: %s wave: %w", name, r.err)
+			}
+			continue
+		}
+		lat = append(lat, r.d.Nanoseconds())
+		sum += r.d.Nanoseconds()
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	if len(lat) > 0 {
+		ph.MeanNanos = sum / int64(len(lat))
+		ph.P50Nanos = lat[len(lat)/2]
+		ph.P99Nanos = lat[(len(lat)*99)/100]
+	}
+	if wall > 0 {
+		ph.RPS = float64(len(specs)-ph.Errors) / wall.Seconds()
+	}
+	return ph, nil
+}
+
+func submit(client *http.Client, base, tenant string, spec []byte) error {
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/missions", bytes.NewReader(spec))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Tenant", tenant)
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	return nil
+}
+
+// benchRecord/benchReport mirror cmd/benchtab's -bench-json layout so
+// `benchtab -compare` can diff load reports with its usual
+// condition-refusal (workers, GOMAXPROCS, shards, quick).
+type benchRecord struct {
+	ID         string `json:"id"`
+	WallNanos  int64  `json:"wall_ns"`
+	Mallocs    uint64 `json:"mallocs"`
+	BytesAlloc uint64 `json:"bytes_alloc"`
+}
+
+type benchReport struct {
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	NumCPU     int           `json:"num_cpu"`
+	GoMaxProcs int           `json:"gomaxprocs,omitempty"`
+	Workers    int           `json:"workers"`
+	Shards     int           `json:"shards,omitempty"`
+	Quick      bool          `json:"quick"`
+	Records    []benchRecord `json:"records"`
+	TotalNanos int64         `json:"total_wall_ns"`
+}
+
+// BenchJSON renders the report in benchtab's schema: per-phase p50, p99,
+// and mean-per-request wall times as records, condition metadata pinned
+// so reports collected under different worker widths refuse to compare.
+func (r *Report) BenchJSON(workers int, quick bool) ([]byte, error) {
+	rep := benchReport{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Workers:    workers,
+		Quick:      quick,
+		TotalNanos: r.Cold.WallNanos + r.Cached.WallNanos,
+	}
+	for _, ph := range []Phase{r.Cold, r.Cached} {
+		rep.Records = append(rep.Records,
+			benchRecord{ID: "serve/" + ph.Name + "/p50", WallNanos: ph.P50Nanos},
+			benchRecord{ID: "serve/" + ph.Name + "/p99", WallNanos: ph.P99Nanos},
+			benchRecord{ID: "serve/" + ph.Name + "/mean", WallNanos: ph.MeanNanos},
+		)
+	}
+	var b bytes.Buffer
+	enc := json.NewEncoder(&b)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}

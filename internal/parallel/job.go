@@ -1,0 +1,102 @@
+package parallel
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Job states. A job moves pending -> running -> done, or pending ->
+// cancelled (never having run). Running jobs are never preempted: the
+// engines are not interruptible mid-simulation, so Cancel only prevents
+// work that has not started.
+const (
+	jobPending int32 = iota
+	jobRunning
+	jobCancelled
+)
+
+// Job is a handle on one asynchronous task submitted to a pool: the
+// unit the mission scheduler hands out. It exposes completion (Wait,
+// Done) and best-effort cancellation (Cancel) — the job-queue
+// counterpart of ForEach's synchronous fan-out.
+type Job struct {
+	state  atomic.Int32
+	cancel chan struct{}
+	done   chan struct{}
+	pval   any // recovered panic, re-raised on Wait
+}
+
+// Submit schedules fn to run asynchronously on the pool and returns its
+// handle. At most Workers() submitted jobs run concurrently; excess
+// jobs wait for a free slot in submission order of slot acquisition
+// (fairness across submitters is the caller's concern — see
+// internal/serve's scheduler). A nil pool runs fn inline before
+// returning, the same "nil means sequential" contract as ForEach.
+func Submit(p *Pool, fn func()) *Job {
+	j := &Job{cancel: make(chan struct{}), done: make(chan struct{})}
+	if p == nil {
+		j.state.Store(jobRunning)
+		j.run(fn)
+		return j
+	}
+	go func() {
+		select {
+		case <-j.cancel:
+			close(j.done)
+			return
+		case p.jobs <- struct{}{}:
+		}
+		defer func() { <-p.jobs }()
+		// Cancel may have won the race while the slot was granted: the
+		// CAS decides atomically whether the job runs or never starts.
+		if !j.state.CompareAndSwap(jobPending, jobRunning) {
+			close(j.done)
+			return
+		}
+		j.run(fn)
+	}()
+	return j
+}
+
+// run executes fn, capturing a panic for re-raising on Wait so a
+// panicking job takes down its waiter, not the whole process.
+func (j *Job) run(fn func()) {
+	defer close(j.done)
+	defer func() {
+		if r := recover(); r != nil {
+			j.pval = r
+		}
+	}()
+	fn()
+}
+
+// Cancel prevents a pending job from ever running and reports whether
+// it succeeded: true means fn will not (and did not) execute, false
+// means the job already started or finished. Cancelling is idempotent;
+// a cancelled job's Done channel still closes.
+func (j *Job) Cancel() bool {
+	if j.state.CompareAndSwap(jobPending, jobCancelled) {
+		close(j.cancel)
+		return true
+	}
+	return false
+}
+
+// Cancelled reports whether the job was cancelled before it started.
+func (j *Job) Cancelled() bool { return j.state.Load() == jobCancelled }
+
+// Started reports whether fn began executing (it may still be running).
+func (j *Job) Started() bool { return j.state.Load() == jobRunning }
+
+// Done returns a channel closed when the job completes or is cancelled,
+// for select-based waiters (an HTTP handler racing a client disconnect).
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until the job completes or is cancelled. If fn panicked,
+// Wait re-panics with the captured value.
+func (j *Job) Wait() {
+	<-j.done
+	if j.pval != nil {
+		panic(fmt.Sprintf("parallel: job panicked: %v", j.pval))
+	}
+}

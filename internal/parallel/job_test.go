@@ -1,0 +1,105 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestJobRunsAndWaits(t *testing.T) {
+	p := New(2)
+	var ran atomic.Bool
+	j := Submit(p, func() { ran.Store(true) })
+	j.Wait()
+	if !ran.Load() {
+		t.Fatal("job did not run")
+	}
+	if !j.Started() || j.Cancelled() {
+		t.Errorf("state after completion: started=%v cancelled=%v", j.Started(), j.Cancelled())
+	}
+}
+
+func TestJobNilPoolRunsInline(t *testing.T) {
+	ran := false
+	j := Submit(nil, func() { ran = true })
+	if !ran {
+		t.Fatal("nil-pool job did not run inline")
+	}
+	j.Wait() // must not block
+}
+
+func TestJobConcurrencyBoundedByWorkers(t *testing.T) {
+	const workers, jobs = 3, 12
+	p := New(workers)
+	var cur, peak atomic.Int32
+	var wg sync.WaitGroup
+	handles := make([]*Job, jobs)
+	for i := range handles {
+		wg.Add(1)
+		handles[i] = Submit(p, func() {
+			defer wg.Done()
+			c := cur.Add(1)
+			for {
+				old := peak.Load()
+				if c <= old || peak.CompareAndSwap(old, c) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+		})
+	}
+	wg.Wait()
+	if got := peak.Load(); got > workers {
+		t.Errorf("peak concurrency %d exceeds %d workers", got, workers)
+	}
+	for _, j := range handles {
+		j.Wait()
+	}
+}
+
+func TestJobCancelBeforeStart(t *testing.T) {
+	p := New(1)
+	block := make(chan struct{})
+	running := Submit(p, func() { <-block })
+	// Give the running job its slot before submitting the victim.
+	deadline := time.After(2 * time.Second)
+	for !running.Started() {
+		select {
+		case <-deadline:
+			t.Fatal("first job never started")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	var ran atomic.Bool
+	victim := Submit(p, func() { ran.Store(true) })
+	if !victim.Cancel() {
+		t.Fatal("could not cancel a queued job")
+	}
+	victim.Wait() // done closes even for cancelled jobs
+	if !victim.Cancelled() {
+		t.Error("cancelled job does not report Cancelled")
+	}
+	close(block)
+	running.Wait()
+	if ran.Load() {
+		t.Error("cancelled job still ran")
+	}
+	// Cancelling a finished job is a no-op that reports failure.
+	if running.Cancel() {
+		t.Error("Cancel succeeded on a completed job")
+	}
+}
+
+func TestJobPanicSurfacesOnWait(t *testing.T) {
+	p := New(2)
+	j := Submit(p, func() { panic("boom") })
+	defer func() {
+		if recover() == nil {
+			t.Error("Wait did not re-panic")
+		}
+	}()
+	j.Wait()
+}

@@ -30,6 +30,10 @@ import (
 type Pool struct {
 	workers int
 	slots   chan struct{}
+	// jobs is the Submit-side budget: unlike slots (helpers only — the
+	// ForEach caller is always the +1th worker), an asynchronous job has
+	// no caller thread, so the full worker count is available to jobs.
+	jobs chan struct{}
 }
 
 // New returns a pool with the given number of worker slots. workers <= 0
@@ -39,7 +43,11 @@ func New(workers int) *Pool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Pool{workers: workers, slots: make(chan struct{}, workers-1)}
+	return &Pool{
+		workers: workers,
+		slots:   make(chan struct{}, workers-1),
+		jobs:    make(chan struct{}, workers),
+	}
 }
 
 // Workers returns the pool's worker count (1 for a nil pool).

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickServerMatchesDirect is the service's conformance property:
+// for random mission tuples (engine x hazards x churn x seed), the
+// bytes the HTTP server returns equal the bytes a direct engine call
+// produces, and a second submission is a cache hit returning identical
+// bytes with zero additional simulator invocations.
+func TestQuickServerMatchesDirect(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+
+	property := func(shardEngine, flood bool, lossN, churnN, crashN, seedN uint8) bool {
+		spec := Spec{
+			Workload:  "labeling",
+			Side:      4,
+			Seed:      int64(seedN%37) + 1,
+			Loss:      float64(lossN%3) * 0.15,
+			CrashFrac: float64(crashN%3) * 0.2,
+			ChurnRate: float64(churnN%3) * 0.4,
+			Trace:     true,
+		}
+		if flood {
+			spec.Workload = "flood"
+			spec.Density = 4
+			spec.Floods = 2
+		}
+		if shardEngine {
+			spec.Engine = "shard"
+			spec.Shards = 2 + int(seedN%3)
+			spec.Workers = 2
+		}
+		raw, err := json.Marshal(&spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		direct, _, derr := Oneshot(raw)
+
+		resp, body := postMission(t, ts, "quick", string(raw), "")
+		if derr != nil {
+			// The engines refused (e.g. a disconnected flood deployment):
+			// the server must refuse the same mission, not invent bytes.
+			if resp.StatusCode == http.StatusOK {
+				t.Logf("direct call errored (%v) but server served 200: %s", derr, body)
+				return false
+			}
+			return true
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Logf("spec %s: server status %d: %s", raw, resp.StatusCode, body)
+			return false
+		}
+		if !bytes.Equal(body, direct) {
+			t.Logf("spec %s: server bytes diverge from direct call:\nsrv:    %s\ndirect: %s", raw, body, direct)
+			return false
+		}
+
+		// Resubmission: a hit, identical bytes, no new simulator run.
+		runsBefore := srv.Runs()
+		resp2, body2 := postMission(t, ts, "quick", string(raw), "")
+		if resp2.StatusCode != http.StatusOK || resp2.Header.Get("X-Cache") != "hit" {
+			t.Logf("spec %s: resubmit status %d X-Cache %q", raw, resp2.StatusCode, resp2.Header.Get("X-Cache"))
+			return false
+		}
+		if !bytes.Equal(body2, body) {
+			t.Logf("spec %s: cache hit bytes diverge from cold run", raw)
+			return false
+		}
+		if srv.Runs() != runsBefore {
+			t.Logf("spec %s: cache hit invoked the simulator (%d -> %d runs)", raw, runsBefore, srv.Runs())
+			return false
+		}
+		return true
+	}
+
+	cfg := &quick.Config{
+		MaxCount: 25,
+		Rand:     rand.New(rand.NewSource(1)),
+	}
+	if testing.Short() {
+		cfg.MaxCount = 6
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRaceMultiTenant floods the server with concurrent tenants under
+// the race detector and asserts the admission invariants held at every
+// instant: in-flight missions never exceeded the worker budget, the
+// queue never exceeded its bound, no tenant exceeded its outstanding
+// cap, and — fairness — every tenant finished all of its missions.
+// `make race-serve` runs this with -race.
+func TestRaceMultiTenant(t *testing.T) {
+	const (
+		tenants     = 4
+		missions    = 6
+		workers     = 2
+		tenantSlots = 2
+		queueBound  = 16
+	)
+	srv, ts := newTestServer(t, Config{Sched: SchedConfig{
+		Workers: workers, TenantSlots: tenantSlots, QueueBound: queueBound,
+	}})
+
+	var wg sync.WaitGroup
+	for tn := 0; tn < tenants; tn++ {
+		// Each tenant runs two concurrent submitters over its mission
+		// list, deliberately bumping against its own admission cap.
+		tenant := fmt.Sprintf("tenant-%d", tn)
+		next := make(chan int)
+		for c := 0; c < 2; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					spec := fmt.Sprintf(`{"workload":"labeling","side":4,"seed":%d,"loss":0.1,"trace":true}`,
+						1+tn*missions+i)
+					for {
+						resp, body := postMission(t, ts, tenant, spec, "")
+						if resp.StatusCode == http.StatusOK {
+							break
+						}
+						if resp.StatusCode != http.StatusTooManyRequests &&
+							resp.StatusCode != http.StatusServiceUnavailable {
+							t.Errorf("%s mission %d: status %d: %s", tenant, i, resp.StatusCode, body)
+							break
+						}
+						time.Sleep(time.Millisecond) // admission backpressure: retry
+					}
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < missions; i++ {
+				next <- i
+			}
+			close(next)
+		}()
+	}
+	wg.Wait()
+
+	st := srv.Sched().Stats()
+	if st.MaxInFlight > workers {
+		t.Errorf("max in-flight %d exceeded the %d-worker budget", st.MaxInFlight, workers)
+	}
+	if st.MaxQueued > queueBound {
+		t.Errorf("max queued %d exceeded the %d bound", st.MaxQueued, queueBound)
+	}
+	for tn := 0; tn < tenants; tn++ {
+		tenant := fmt.Sprintf("tenant-%d", tn)
+		tst, ok := st.Tenants[tenant]
+		if !ok {
+			t.Fatalf("%s never admitted", tenant)
+		}
+		if tst.MaxOutstanding > tenantSlots {
+			t.Errorf("%s max outstanding %d exceeded its %d slots", tenant, tst.MaxOutstanding, tenantSlots)
+		}
+		if tst.Completed != missions {
+			t.Errorf("%s completed %d of %d missions (starved?)", tenant, tst.Completed, missions)
+		}
+		if tst.Outstanding != 0 {
+			t.Errorf("%s still has %d outstanding after drain", tenant, tst.Outstanding)
+		}
+	}
+	// All seeds were distinct, so every mission simulated exactly once.
+	if srv.Runs() != tenants*missions {
+		t.Errorf("runs = %d, want %d (distinct missions, no coalescing)", srv.Runs(), tenants*missions)
+	}
+	if st.InFlight != 0 || st.Queued != 0 {
+		t.Errorf("scheduler not drained: in-flight %d, queued %d", st.InFlight, st.Queued)
+	}
+}
+
+// TestRaceConcurrentIdentical hammers one digest from many goroutines:
+// flight coalescing plus the cache must produce identical bytes for
+// every caller while simulating exactly once... unless a caller arrives
+// after the flight closed and before its twin — then at most a handful
+// of runs, never one per caller.
+func TestRaceConcurrentIdentical(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	const callers = 12
+	spec := `{"workload":"labeling","side":4,"seed":99,"trace":true}`
+
+	bodies := make([][]byte, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, body := postMission(t, ts, fmt.Sprintf("c%d", i%3), spec, "")
+			if resp.StatusCode == http.StatusOK {
+				bodies[i] = body
+			} else {
+				t.Errorf("caller %d: status %d: %s", i, resp.StatusCode, body)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 1; i < callers; i++ {
+		if string(bodies[i]) != string(bodies[0]) {
+			t.Fatalf("caller %d got different bytes than caller 0", i)
+		}
+	}
+	// A caller can land in the sliver between the flight closing and the
+	// cache answering, starting one extra run — but coalescing must keep
+	// runs far below one-per-caller.
+	if runs := srv.Runs(); runs < 1 || runs > 2 {
+		t.Errorf("identical concurrent submissions ran the simulator %d times, want 1 (2 tolerated)", runs)
+	}
+}

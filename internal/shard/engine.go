@@ -36,6 +36,10 @@ type hazards struct {
 	crashes  fault.Schedule
 	churn    churn.Schedule
 	capacity cost.Energy
+	// sink, when set alongside tracing, observes events live as each
+	// kernel emits them (interleaving-dependent order — the canonical
+	// trace in the result is the deterministic record).
+	sink trace.Sink
 }
 
 // engine runs one simulation across S spatial shards in conservative
@@ -144,6 +148,7 @@ func newEngine(nw *deploy.Network, st *State, part *Partition, model *cost.Model
 		}
 		if traceCap > 0 {
 			sr.tracer = trace.New(traceCap)
+			sr.tracer.SetSink(hz.sink)
 		}
 		if hz.capacity > 0 {
 			sr.bank = battery.Uniform(nw.N(), hz.capacity)

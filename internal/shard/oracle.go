@@ -57,6 +57,7 @@ func newSingleFab(nw *deploy.Network, st *State, model *cost.Model, hz hazards, 
 	f := &singleFab{med: med, st: st, hz: hz}
 	if traceCap > 0 {
 		f.tracer = trace.New(traceCap)
+		f.tracer.SetSink(hz.sink)
 		med.SetTracer(f.tracer)
 	}
 	if hz.capacity > 0 {

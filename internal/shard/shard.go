@@ -81,6 +81,15 @@ type Config struct {
 	// Trace enables canonical JSONL trace capture in Result.Trace.
 	Trace bool
 
+	// Sink, when set together with Trace, additionally receives every
+	// event live as it is emitted. Live order is the engine's emission
+	// order — interleaving-dependent on the sharded path — so a sink is
+	// for watching a run, not for comparing runs; Result.Trace remains
+	// the canonical, order-independent record. Sink must not block (see
+	// trace.Sink). Never part of the result, so it cannot affect any
+	// digest or checksum.
+	Sink trace.Sink
+
 	// Model overrides the cost model (default: the paper's uniform
 	// model).
 	Model *cost.Model
@@ -423,6 +432,9 @@ func buildHazards(n int, cfg *Config) (hazards, error) {
 			return hz, err
 		}
 		hz.churn = cfg.Churn.Normalize()
+	}
+	if cfg.Trace {
+		hz.sink = cfg.Sink
 	}
 	return hz, nil
 }

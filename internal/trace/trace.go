@@ -180,6 +180,15 @@ func (e Event) Describe() string {
 	return b.String()
 }
 
+// Sink observes events live, as they are emitted, in emission order —
+// the streaming counterpart of the ring's after-the-fact Events(). A
+// sink is called with the tracer's lock held, so implementations must
+// be fast and must never block (hand the event to a buffered channel,
+// drop on overflow); a slow sink stalls the simulation it watches.
+type Sink interface {
+	TraceEvent(Event)
+}
+
 // Tracer records events into a fixed-capacity ring. The zero value is not
 // usable; nil is (as a disabled tracer). The ring's backing array grows
 // lazily up to the capacity, so large-capacity tracers cost nothing until
@@ -192,6 +201,19 @@ type Tracer struct {
 	filled  bool
 	counts  [numKinds]int64
 	emitted int64
+	sink    Sink
+}
+
+// SetSink attaches a live event sink (nil detaches). Every subsequent
+// EmitEvent is forwarded to it, sequence-stamped, after landing in the
+// ring. Safe on a nil tracer.
+func (t *Tracer) SetSink(s Sink) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.sink = s
+	t.mu.Unlock()
 }
 
 // New returns a tracer keeping the last capacity events.
@@ -232,6 +254,9 @@ func (t *Tracer) EmitEvent(e Event) {
 			t.next = 0
 		}
 		t.filled = true
+	}
+	if t.sink != nil {
+		t.sink.TraceEvent(e)
 	}
 	t.mu.Unlock()
 }

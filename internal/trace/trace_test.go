@@ -224,3 +224,34 @@ func TestKernelProbe(t *testing.T) {
 		}
 	}
 }
+
+// collectSink records every forwarded event, proving the sink sees the
+// same sequence-stamped stream the ring keeps.
+type collectSink struct{ events []Event }
+
+func (c *collectSink) TraceEvent(e Event) { c.events = append(c.events, e) }
+
+func TestSinkReceivesLiveEvents(t *testing.T) {
+	tr := New(2) // ring smaller than the emission count: sink still sees all
+	sink := &collectSink{}
+	tr.SetSink(sink)
+	for i := 0; i < 5; i++ {
+		tr.Emit(sim.Time(i), Send, "n", "x")
+	}
+	if len(sink.events) != 5 {
+		t.Fatalf("sink saw %d events, want 5", len(sink.events))
+	}
+	for i, e := range sink.events {
+		if e.Seq != int64(i) {
+			t.Errorf("event %d has seq %d, want %d", i, e.Seq, i)
+		}
+	}
+	tr.SetSink(nil)
+	tr.Emit(9, Send, "n", "x")
+	if len(sink.events) != 5 {
+		t.Errorf("detached sink still saw events")
+	}
+	// nil-tracer safety mirrors the rest of the API.
+	var nilT *Tracer
+	nilT.SetSink(sink)
+}
