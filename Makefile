@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-short race race-core race-shard-faults race-churn race-serve bench bench-json bench-diff bench-serve soak cover tables csv report fuzz examples clean
+.PHONY: all check build vet test test-short race race-core race-deploy race-shard-faults race-churn race-serve bench bench-json bench-diff bench-serve bench-deploy soak cover tables csv report fuzz examples clean
 
 all: build vet test
 
@@ -14,7 +14,7 @@ all: build vet test
 # under the race detector, one quick benchmark iteration to catch
 # allocation or wall-time blowups, a battery-depletion soak, and the
 # observability coverage floor before they land.
-check: vet build race-core race-shard-faults race-churn race-serve race bench soak cover
+check: vet build race-core race-deploy race-shard-faults race-churn race-serve race bench soak cover
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,14 @@ race:
 # inbox handoff under 2 and 4 workers.
 race-core:
 	$(GO) test -race -count=1 ./internal/sim/ ./internal/radio/ ./internal/parallel/ ./internal/shard/
+
+# The deployment pipeline under the race detector: the parallel two-pass
+# CSR neighbor construction over bucket rows, the speculative
+# GenerateSeeded waves with per-slot scratches, and the differential
+# tests pinning both to their sequential twins — all under real
+# goroutine interleaving.
+race-deploy:
+	$(GO) test -race -count=1 ./internal/deploy/
 
 # The fault plane under the race detector: a multi-worker sharded run
 # with the lossy channel, a crash schedule, and battery depletion all
@@ -65,7 +73,7 @@ race-serve:
 
 # Micro-benchmarks only (-run=^$$ skips the unit tests), with allocation
 # counts; short benchtime keeps this a quick regression pass. Compare the
-# whole-experiment numbers against the committed BENCH_1.json baseline.
+# whole-experiment numbers against the committed BENCH_4.json baseline.
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run=^$$ .
 
@@ -95,20 +103,30 @@ cover:
 	  if (pct + 0 < floor) { print "FAIL: shard coverage below " floor "% floor"; bad = 1 } } \
 	END { exit bad }'
 
-# Refresh the committed per-experiment wall-time/alloc baseline.
+# Refresh the committed per-experiment wall-time/alloc/heap-peak baseline.
 # -repeat 3 records min-of-3, which keeps scheduler noise on busy or
 # single-core hosts out of the committed numbers.
 bench-json:
-	$(GO) run ./cmd/benchtab -parallel 1 -repeat 3 -bench-json BENCH_1.json > /dev/null
+	$(GO) run ./cmd/benchtab -parallel 1 -repeat 3 -bench-json BENCH_4.json > /dev/null
 
-# Perf gate: re-measure every experiment into BENCH_2.json and diff it
-# against the committed BENCH_1.json baseline; fails on any experiment
+# Perf gate: re-measure every experiment into BENCH_5.json and diff it
+# against the committed BENCH_4.json baseline; fails on any experiment
 # regressing more than 10% on wall time or mallocs. The compare also
 # refuses (exit 2) when the two files were measured under different
 # worker/GOMAXPROCS/shard conditions, unless -force is given.
 bench-diff:
-	$(GO) run ./cmd/benchtab -parallel 1 -repeat 3 -bench-json BENCH_2.json > /dev/null
-	$(GO) run ./cmd/benchtab -compare -tolerance 10 BENCH_1.json BENCH_2.json
+	$(GO) run ./cmd/benchtab -parallel 1 -repeat 3 -bench-json BENCH_5.json > /dev/null
+	$(GO) run ./cmd/benchtab -compare -tolerance 10 BENCH_4.json BENCH_5.json
+
+# Deployment-pipeline perf gate: re-measure the E26 generation sweep
+# (full tiers, up to a million nodes) into a fresh report and diff its
+# E26 record against the committed BENCH_4.json baseline. Other
+# experiments show as "gone" in the table; only E26 is gated. The wider
+# tolerance absorbs wall jitter on big single-shot builds.
+bench-deploy:
+	$(GO) run ./cmd/benchtab -parallel 1 -repeat 2 -only E26 -bench-json BENCH_DEPLOY.json > /dev/null
+	$(GO) run ./cmd/benchtab -compare -tolerance 25 BENCH_4.json BENCH_DEPLOY.json
+	rm -f BENCH_DEPLOY.json
 
 # Mission-server load test: cold vs cached waves against an in-process
 # server over real HTTP, refreshing the committed BENCH_3.json latency
@@ -132,6 +150,7 @@ fuzz:
 	$(GO) test -fuzz FuzzDecodeSummary -fuzztime 30s ./internal/wire/
 	$(GO) test -fuzz FuzzDecodeGraphMsg -fuzztime 30s ./internal/wire/
 	$(GO) test -fuzz FuzzMediumConservation -fuzztime 30s ./internal/radio/
+	$(GO) test -fuzz FuzzCSRNeighbors -fuzztime 30s ./internal/deploy/
 	$(GO) test -fuzz FuzzDecode -fuzztime 30s ./internal/trace/
 	$(GO) test -fuzz FuzzRun -fuzztime 30s ./internal/trace/check/
 	$(GO) test -fuzz '^FuzzWindowBoundary$$' -fuzztime 30s ./internal/shard/

@@ -74,6 +74,9 @@ func BenchmarkE23ChurnRepair(b *testing.B)   { benchTable(b, experiments.E23Chur
 func BenchmarkE24ChurnShardScaling(b *testing.B) {
 	benchTable(b, experiments.E24ChurnShardScaling)
 }
+func BenchmarkE26DeployGeneration(b *testing.B) {
+	benchTable(b, experiments.E26DeployGeneration)
+}
 func BenchmarkA1Mappers(b *testing.B)    { benchTable(b, experiments.A1MappingAblation) }
 func BenchmarkA2Workloads(b *testing.B)  { benchTable(b, experiments.A2FieldShapes) }
 func BenchmarkA3CostModels(b *testing.B) { benchTable(b, experiments.A3CostSensitivity) }

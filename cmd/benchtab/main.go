@@ -1,9 +1,9 @@
 // Command benchtab regenerates every experiment table of the reproduction
-// (E1–E22 plus the A-series ablations) and prints them in order. Run with
+// (E1–E26 plus the A-series ablations) and prints them in order. Run with
 // -quick for trimmed sweeps, -csv for machine-readable stdout, -out to also
 // write one CSV file per experiment, -only to select experiments by ID,
 // -parallel to bound the worker pool, or -bench-json to record per-experiment
-// wall time and allocation counts.
+// wall time, allocation counts, and live-heap high-water marks.
 //
 // Usage:
 //
@@ -27,6 +27,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	runtimemetrics "runtime/metrics"
 	"strings"
 	"text/tabwriter"
 	"time"
@@ -42,6 +43,13 @@ type benchRecord struct {
 	WallNanos  int64  `json:"wall_ns"`
 	Mallocs    uint64 `json:"mallocs"`
 	BytesAlloc uint64 `json:"bytes_alloc"`
+	// HeapPeak is the high-water mark of live heap object bytes observed
+	// while the experiment ran (sampled from runtime/metrics) — the
+	// resident-footprint counterpart to the cumulative BytesAlloc, which
+	// SoA/CSR layout work moves without necessarily changing alloc counts.
+	// Informational: -compare displays it but never gates on it, since a
+	// sampling peak is noisier than a counter.
+	HeapPeak uint64 `json:"heap_peak_bytes,omitempty"`
 }
 
 // benchReport is the -bench-json file layout. Metadata pins the conditions
@@ -123,6 +131,7 @@ func main() {
 		{"E22", experiments.E22HazardScaling},
 		{"E23", experiments.E23ChurnRepair},
 		{"E24", experiments.E24ChurnShardScaling},
+		{"E26", experiments.E26DeployGeneration},
 		{"A1", experiments.A1MappingAblation},
 		{"A2", experiments.A2FieldShapes},
 		{"A3", experiments.A3CostSensitivity},
@@ -177,9 +186,11 @@ func main() {
 			for r := 0; r < *repeat; r++ {
 				var before, after runtime.MemStats
 				runtime.ReadMemStats(&before)
+				sampler := startHeapSampler()
 				t0 := time.Now()
 				tables[i] = e.run(opt)
 				wall := time.Since(t0)
+				heapPeak := sampler.Stop()
 				runtime.ReadMemStats(&after)
 				mallocs := after.Mallocs - before.Mallocs
 				bytesAlloc := after.TotalAlloc - before.TotalAlloc
@@ -191,6 +202,9 @@ func main() {
 				}
 				if r == 0 || bytesAlloc < rec.BytesAlloc {
 					rec.BytesAlloc = bytesAlloc
+				}
+				if r == 0 || heapPeak < rec.HeapPeak {
+					rec.HeapPeak = heapPeak
 				}
 			}
 			report.Records[i] = rec
@@ -231,6 +245,64 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// heapObjectsMetric is the live-heap byte count the sampler polls: bytes
+// occupied by live objects plus dead objects not yet swept — the closest
+// runtime/metrics analogue of a resident-heap high-water mark, and far
+// cheaper to read than a stop-the-world ReadMemStats.
+const heapObjectsMetric = "/memory/classes/heap/objects:bytes"
+
+// heapSampler polls the live-heap size on a short ticker while an
+// experiment runs and keeps the maximum observed value.
+type heapSampler struct {
+	stop chan struct{}
+	done chan struct{}
+	peak uint64
+}
+
+func startHeapSampler() *heapSampler {
+	s := &heapSampler{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		sample := []runtimemetrics.Sample{{Name: heapObjectsMetric}}
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			runtimemetrics.Read(sample)
+			if v := sample[0].Value.Uint64(); v > s.peak {
+				s.peak = v
+			}
+			select {
+			case <-s.stop:
+				return
+			case <-tick.C:
+			}
+		}
+	}()
+	return s
+}
+
+// Stop ends sampling, takes one final reading, and returns the high-water
+// mark in bytes.
+func (s *heapSampler) Stop() uint64 {
+	close(s.stop)
+	<-s.done
+	sample := []runtimemetrics.Sample{{Name: heapObjectsMetric}}
+	runtimemetrics.Read(sample)
+	if v := sample[0].Value.Uint64(); v > s.peak {
+		s.peak = v
+	}
+	return s.peak
+}
+
+// fmtMiB renders a byte count as MiB for the compare table, with "-" for
+// reports that predate the heap column.
+func fmtMiB(b uint64) string {
+	if b == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
 }
 
 // loadReport reads one -bench-json file.
@@ -325,14 +397,14 @@ func runCompare(oldPath, newPath string, tol float64, force bool) int {
 	}
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', tabwriter.AlignRight)
-	fmt.Fprintf(w, "ID\twall old\twall new\tΔ%%\tmallocs old\tmallocs new\tΔ%%\tbytes old\tbytes new\tΔ%%\t\n")
+	fmt.Fprintf(w, "ID\twall old\twall new\tΔ%%\tmallocs old\tmallocs new\tΔ%%\tbytes old\tbytes new\tΔ%%\theap old\theap new\t\n")
 	regressed := []string{}
 	seen := map[string]bool{}
 	for _, nr := range newRep.Records {
 		or, ok := oldByID[nr.ID]
 		if !ok {
-			fmt.Fprintf(w, "%s\t-\t%s\t new\t-\t%d\t new\t-\t%d\t new\t\n",
-				nr.ID, time.Duration(nr.WallNanos), nr.Mallocs, nr.BytesAlloc)
+			fmt.Fprintf(w, "%s\t-\t%s\t new\t-\t%d\t new\t-\t%d\t new\t-\t%s\t\n",
+				nr.ID, time.Duration(nr.WallNanos), nr.Mallocs, nr.BytesAlloc, fmtMiB(nr.HeapPeak))
 			continue
 		}
 		seen[nr.ID] = true
@@ -344,12 +416,13 @@ func runCompare(oldPath, newPath string, tol float64, force bool) int {
 			mark = " !"
 			regressed = append(regressed, nr.ID)
 		}
-		fmt.Fprintf(w, "%s%s\t%s\t%s\t%+.1f\t%d\t%d\t%+.1f\t%d\t%d\t%+.1f\t\n",
+		fmt.Fprintf(w, "%s%s\t%s\t%s\t%+.1f\t%d\t%d\t%+.1f\t%d\t%d\t%+.1f\t%s\t%s\t\n",
 			nr.ID, mark,
 			time.Duration(or.WallNanos).Round(time.Microsecond),
 			time.Duration(nr.WallNanos).Round(time.Microsecond), dw,
 			or.Mallocs, nr.Mallocs, dm,
-			or.BytesAlloc, nr.BytesAlloc, db)
+			or.BytesAlloc, nr.BytesAlloc, db,
+			fmtMiB(or.HeapPeak), fmtMiB(nr.HeapPeak))
 	}
 	for _, or := range oldRep.Records {
 		found := false
@@ -360,8 +433,8 @@ func runCompare(oldPath, newPath string, tol float64, force bool) int {
 			}
 		}
 		if !found {
-			fmt.Fprintf(w, "%s\t%s\t-\t gone\t%d\t-\t gone\t%d\t-\t gone\t\n",
-				or.ID, time.Duration(or.WallNanos), or.Mallocs, or.BytesAlloc)
+			fmt.Fprintf(w, "%s\t%s\t-\t gone\t%d\t-\t gone\t%d\t-\t gone\t%s\t-\t\n",
+				or.ID, time.Duration(or.WallNanos), or.Mallocs, or.BytesAlloc, fmtMiB(or.HeapPeak))
 		}
 	}
 	w.Flush()

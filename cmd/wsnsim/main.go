@@ -7,11 +7,21 @@
 //
 // Usage:
 //
-//	wsnsim [-side 8] [-density 6] [-seed 1] [-field blobs|gradient|stripes]
+//	wsnsim [-side 8] [-density 6] [-n 0] [-seed 1] [-field blobs|gradient|stripes]
 //	       [-thresh 0.5] [-engine des|lockstep|goroutine|physical|shard]
 //	       [-loss 0] [-retries 0] [-crash-frac 0] [-crash-window 32]
 //	       [-churn-rate 0] [-duty-cycle period:on]
 //	       [-shards 0] [-workers 0] [-trace 0] [-trace-out trace.jsonl] [-metrics]
+//
+// -n overrides the physical node count (default side²·density). Million-node
+// runs pair it with a proportionally larger -side so per-cell density stays
+// around the occupancy sweet spot, e.g.:
+//
+//	wsnsim -n 1000000 -side 256 -engine shard -shards 64 -workers 8
+//
+// On the shard engine the topology-emulation and leader-election phases are
+// skipped — their results feed only the physical engine, and at millions of
+// nodes they would dominate the run for output nothing downstream reads.
 //
 // -shards opts the program-injection phase into the sharded parallel
 // kernel (internal/shard): the image dissemination runs on that many
@@ -67,6 +77,7 @@ import (
 func main() {
 	side := flag.Int("side", 8, "virtual grid side (power of two)")
 	density := flag.Int("density", 6, "mean physical nodes per grid cell")
+	nodes := flag.Int("n", 0, "physical node count (0 = side*side*density)")
 	seed := flag.Int64("seed", 1, "deployment and field seed")
 	fieldName := flag.String("field", "blobs", "phenomenon: blobs, gradient, stripes, solid")
 	thresh := flag.Float64("thresh", 0.5, "feature threshold")
@@ -92,6 +103,9 @@ func main() {
 
 	// Physical layer: deployment satisfying the paper's assumptions.
 	n := *side * *side * *density
+	if *nodes > 0 {
+		n = *nodes
+	}
 	txRange := grid.CellSide() * 1.2
 	nw, attempts, err := deploy.Generate(n, grid, txRange, deploy.UniformRandom{}, rng, 100)
 	if err != nil {
@@ -117,22 +131,34 @@ func main() {
 	fmt.Printf("program injection (%s): %d/%d nodes reached at t=%d, energy %d units\n",
 		engineName, inj.Reached[0]+1, inj.Nodes, inj.Completion, emul.InjectionEnergy(inj))
 
-	// Runtime system: topology emulation + virtual-process binding.
-	physLedger := cost.NewLedger(cost.NewUniform(), nw.N())
-	med := radio.NewMedium(nw, sim.New(), physLedger, rand.New(rand.NewSource(*seed+1)), radio.Config{})
-	proto := vtopo.New(med, grid)
-	em := proto.Run()
-	fmt.Printf("topology emulation: %d broadcasts, setup time %d, complete=%v\n",
-		em.Broadcasts, em.SetupTime, em.Complete)
-	if !em.Complete {
-		log.Fatal("wsnsim: emulation incomplete; raise -density")
+	// Runtime system: topology emulation + virtual-process binding. Only
+	// the physical engine consumes the emulation tables, the binding, and
+	// the medium, so the shard engine skips the whole phase — at -n in the
+	// millions it would dominate the run for unread output.
+	var (
+		physLedger *cost.Ledger
+		med        *radio.Medium
+		proto      *vtopo.Protocol
+		bnd        *binding.Binding
+	)
+	if *engine != "shard" {
+		physLedger = cost.NewLedger(cost.NewUniform(), nw.N())
+		med = radio.NewMedium(nw, sim.New(), physLedger, rand.New(rand.NewSource(*seed+1)), radio.Config{})
+		proto = vtopo.New(med, grid)
+		em := proto.Run()
+		fmt.Printf("topology emulation: %d broadcasts, setup time %d, complete=%v\n",
+			em.Broadcasts, em.SetupTime, em.Complete)
+		if !em.Complete {
+			log.Fatal("wsnsim: emulation incomplete; raise -density")
+		}
+		var bres *binding.Result
+		bnd, bres, err = binding.Bind(med, grid, binding.MinDistance{Network: nw, Grid: grid})
+		if err != nil {
+			log.Fatalf("wsnsim: binding failed: %v", err)
+		}
+		fmt.Printf("binding: %d leaders elected in %d broadcasts (convergence %d); runtime-system energy %d units\n",
+			len(bnd.Leaders), bres.Broadcasts, bres.Convergence, physLedger.Metrics().Total)
 	}
-	bnd, bres, err := binding.Bind(med, grid, binding.MinDistance{Network: nw, Grid: grid})
-	if err != nil {
-		log.Fatalf("wsnsim: binding failed: %v", err)
-	}
-	fmt.Printf("binding: %d leaders elected in %d broadcasts (convergence %d); runtime-system energy %d units\n",
-		len(bnd.Leaders), bres.Broadcasts, bres.Convergence, physLedger.Metrics().Total)
 
 	// Application layer: sense, threshold, label.
 	phen := makeField(*fieldName, grid, *seed)

@@ -4,10 +4,16 @@
 // where (i,j) ∈ E_r iff δ(v_i, v_j) ≤ r.
 //
 // The package provides the placement generators the experiments sweep over
-// (uniform random, perturbed grid, clustered), neighbor-list construction
-// via a uniform spatial hash (O(n) expected instead of O(n²)), and the
+// (uniform random, perturbed grid, clustered), neighbor construction via a
+// uniform spatial hash (O(n) expected instead of O(n²)) into a flat CSR
+// adjacency — one offsets array plus one flat neighbor array for the whole
+// graph, built in parallel over bucket rows for large deployments — and the
 // connectivity predicates the paper assumes: G_r connected, every grid cell
-// occupied, and every per-cell induced subgraph connected.
+// occupied, every per-cell induced subgraph connected, and every adjacent
+// cell pair directly linked. The predicates run allocation-free on a
+// reusable Scratch (union-find and bitsets instead of map-based BFS), so
+// Generate can qualify million-node deployments without the validation
+// pass dominating wall time.
 package deploy
 
 import (
@@ -16,6 +22,7 @@ import (
 	"math/rand"
 
 	"wsnva/internal/geom"
+	"wsnva/internal/parallel"
 )
 
 // Node is one physical sensor node.
@@ -25,11 +32,21 @@ type Node struct {
 }
 
 // Network is an immutable physical deployment plus its connectivity graph.
+//
+// Adjacency is stored in compressed-sparse-row form: off has one entry per
+// node plus a terminator, and adj holds every neighbor list back to back,
+// each row sorted ascending. Neighbors(id) is a zero-copy subslice of adj,
+// so the legacy [][]int-style API survives without per-node allocations.
+// Positions are additionally kept as flat xs/ys arrays (struct-of-arrays),
+// which the sharded kernel aliases instead of copying.
 type Network struct {
-	Nodes     []Node
-	Range     float64
-	Terrain   geom.Rect
-	neighbors [][]int // adjacency lists, sorted by node ID
+	Nodes   []Node
+	Range   float64
+	Terrain geom.Rect
+
+	off    []int32 // CSR row offsets, len N()+1
+	adj    []int   // CSR neighbor IDs, len = number of directed edges
+	xs, ys []float64
 }
 
 // Placement generates node positions on a terrain.
@@ -135,27 +152,62 @@ type WithHole struct {
 	Hole  geom.Rect
 }
 
+// maxFruitlessRounds bounds WithHole's rejection sampling: after this many
+// consecutive whole batches with zero accepted points, the remaining points
+// are placed deterministically instead of looping forever.
+const maxFruitlessRounds = 32
+
 // Place implements Placement. Points landing in the hole are redrawn from
 // the inner placement (one candidate at a time, so any inner distribution
-// works); after too many consecutive rejections the point is placed at the
-// terrain corner farthest from the hole center rather than looping forever.
+// works). After maxFruitlessRounds consecutive fruitless rejection rounds
+// the remaining points are placed at the terrain corner farthest from the
+// hole center rather than looping forever — a hole covering (almost) the
+// whole terrain therefore terminates with the leftovers stacked on that
+// corner, even when the corner itself lies inside the hole.
 func (w WithHole) Place(n int, terrain geom.Rect, rng *rand.Rand) []geom.Point {
 	out := make([]geom.Point, 0, n)
+	fruitless := 0
 	for len(out) < n {
 		batch := w.Inner.Place(n-len(out), terrain, rng)
+		accepted := 0
 		for _, p := range batch {
 			if !w.Hole.Contains(p) {
 				out = append(out, p)
+				accepted++
 			}
 		}
-		// Degenerate safeguard: a hole covering the whole terrain would
-		// loop forever; detect a fruitless full batch and bail out.
-		if len(batch) > 0 && len(out) == 0 && w.Hole.Contains(terrain.Center()) &&
-			w.Hole.Width() >= terrain.Width() && w.Hole.Height() >= terrain.Height() {
-			panic("deploy: hole covers the entire terrain")
+		if accepted > 0 {
+			fruitless = 0
+			continue
+		}
+		fruitless++
+		if fruitless >= maxFruitlessRounds {
+			corner := farthestCorner(terrain, w.Hole.Center())
+			for len(out) < n {
+				out = append(out, corner)
+			}
 		}
 	}
 	return out
+}
+
+// farthestCorner returns the terrain corner farthest from p, nudged inside
+// the half-open terrain rectangle (the same 1e-9 convention the placement
+// clamps use). Ties resolve to the first corner in NW, NE, SW, SE order.
+func farthestCorner(terrain geom.Rect, p geom.Point) geom.Point {
+	corners := [4]geom.Point{
+		{X: terrain.MinX, Y: terrain.MinY},
+		{X: terrain.MaxX - 1e-9, Y: terrain.MinY},
+		{X: terrain.MinX, Y: terrain.MaxY - 1e-9},
+		{X: terrain.MaxX - 1e-9, Y: terrain.MaxY - 1e-9},
+	}
+	best := corners[0]
+	for _, c := range corners[1:] {
+		if c.Dist2(p) > best.Dist2(p) {
+			best = c
+		}
+	}
+	return best
 }
 
 // Name implements Placement.
@@ -172,8 +224,18 @@ func clamp(v, lo, hi float64) float64 {
 }
 
 // New builds a network of n nodes placed by p on terrain with transmission
-// range rng. Randomness comes from r.
+// range txRange. Randomness comes from r; placement draws are strictly
+// sequential on r, so positions are a pure function of the rng stream.
+// Neighbor construction parallelizes on a shared pool for large n — the
+// adjacency is byte-identical either way.
 func New(n int, terrain geom.Rect, txRange float64, p Placement, r *rand.Rand) *Network {
+	return NewWithPool(n, terrain, txRange, p, r, sharedPool())
+}
+
+// NewWithPool is New with an explicit worker pool for neighbor
+// construction; nil runs strictly sequentially. The built network is
+// identical for every pool — only wall time changes.
+func NewWithPool(n int, terrain geom.Rect, txRange float64, p Placement, r *rand.Rand, pool *parallel.Pool) *Network {
 	if n <= 0 {
 		panic(fmt.Sprintf("deploy: need positive node count, got %d", n))
 	}
@@ -181,157 +243,90 @@ func New(n int, terrain geom.Rect, txRange float64, p Placement, r *rand.Rand) *
 		panic(fmt.Sprintf("deploy: need positive range, got %v", txRange))
 	}
 	pts := p.Place(n, terrain, r)
-	nodes := make([]Node, n)
-	for i, pt := range pts {
-		nodes[i] = Node{ID: i, Pos: pt}
-	}
-	nw := &Network{Nodes: nodes, Range: txRange, Terrain: terrain}
-	nw.buildNeighbors()
+	nw := fromPlaced(pts, terrain, txRange)
+	nw.buildCSR(pool)
 	return nw
 }
 
 // FromPoints builds a network from explicit positions, for tests and for
 // replaying recorded deployments.
 func FromPoints(pts []geom.Point, terrain geom.Rect, txRange float64) *Network {
+	nw := fromPlaced(pts, terrain, txRange)
+	nw.buildCSR(sharedPool())
+	return nw
+}
+
+// fromPlaced fills the node table and the struct-of-arrays position views
+// from placed points, leaving the adjacency to the caller.
+func fromPlaced(pts []geom.Point, terrain geom.Rect, txRange float64) *Network {
 	nodes := make([]Node, len(pts))
+	xs := make([]float64, len(pts))
+	ys := make([]float64, len(pts))
 	for i, pt := range pts {
 		nodes[i] = Node{ID: i, Pos: pt}
+		xs[i] = pt.X
+		ys[i] = pt.Y
 	}
-	nw := &Network{Nodes: nodes, Range: txRange, Terrain: terrain}
-	nw.buildNeighbors()
-	return nw
+	return &Network{Nodes: nodes, Range: txRange, Terrain: terrain, xs: xs, ys: ys}
 }
 
 // FromAdjacency builds a network from explicit positions and an explicit
 // adjacency list, bypassing the disk-model neighbor construction. It
 // exists for tests and tools that need a connectivity graph the geometry
 // would not produce — including deliberately malformed ones: adj is taken
-// as given, so a caller can hand the radio layer an unsorted list and
-// assert it gets rejected. adj must have one entry per point; entries may
-// be nil.
+// as given (flattened into the CSR arrays row by row, order preserved), so
+// a caller can hand the radio layer an unsorted list and assert it gets
+// rejected. adj must have one entry per point; entries may be nil.
 func FromAdjacency(pts []geom.Point, terrain geom.Rect, txRange float64, adj [][]int) *Network {
 	if len(adj) != len(pts) {
 		panic(fmt.Sprintf("deploy: %d adjacency lists for %d nodes", len(adj), len(pts)))
 	}
-	nodes := make([]Node, len(pts))
-	for i, pt := range pts {
-		nodes[i] = Node{ID: i, Pos: pt}
+	nw := fromPlaced(pts, terrain, txRange)
+	total := 0
+	for _, row := range adj {
+		total += len(row)
 	}
-	return &Network{Nodes: nodes, Range: txRange, Terrain: terrain, neighbors: adj}
-}
-
-// buildNeighbors constructs adjacency lists with a spatial hash of bucket
-// side Range, so only the 3×3 surrounding buckets are scanned per node.
-func (nw *Network) buildNeighbors() {
-	n := len(nw.Nodes)
-	nw.neighbors = make([][]int, n)
-	if n == 0 {
-		return
+	nw.off = make([]int32, len(adj)+1)
+	nw.adj = make([]int, 0, total)
+	for i, row := range adj {
+		nw.adj = append(nw.adj, row...)
+		nw.off[i+1] = int32(len(nw.adj))
 	}
-	bs := nw.Range
-	cols := int(nw.Terrain.Width()/bs) + 1
-	rows := int(nw.Terrain.Height()/bs) + 1
-	bucketOf := func(p geom.Point) (int, int) {
-		bx := int((p.X - nw.Terrain.MinX) / bs)
-		by := int((p.Y - nw.Terrain.MinY) / bs)
-		if bx >= cols {
-			bx = cols - 1
-		}
-		if by >= rows {
-			by = rows - 1
-		}
-		if bx < 0 {
-			bx = 0
-		}
-		if by < 0 {
-			by = 0
-		}
-		return bx, by
-	}
-	buckets := make([][]int, cols*rows)
-	for i, nd := range nw.Nodes {
-		bx, by := bucketOf(nd.Pos)
-		buckets[by*cols+bx] = append(buckets[by*cols+bx], i)
-	}
-	r2 := nw.Range * nw.Range
-	for i, nd := range nw.Nodes {
-		bx, by := bucketOf(nd.Pos)
-		for dy := -1; dy <= 1; dy++ {
-			for dx := -1; dx <= 1; dx++ {
-				nx, ny := bx+dx, by+dy
-				if nx < 0 || nx >= cols || ny < 0 || ny >= rows {
-					continue
-				}
-				for _, j := range buckets[ny*cols+nx] {
-					if j != i && nd.Pos.Dist2(nw.Nodes[j].Pos) <= r2 {
-						nw.neighbors[i] = append(nw.neighbors[i], j)
-					}
-				}
-			}
-		}
-	}
-	// Sorted adjacency keeps iteration order deterministic across runs.
-	for i := range nw.neighbors {
-		insertionSort(nw.neighbors[i])
-	}
-}
-
-func insertionSort(a []int) {
-	for i := 1; i < len(a); i++ {
-		for j := i; j > 0 && a[j] < a[j-1]; j-- {
-			a[j], a[j-1] = a[j-1], a[j]
-		}
-	}
+	return nw
 }
 
 // N returns the number of nodes.
 func (nw *Network) N() int { return len(nw.Nodes) }
 
 // Neighbors returns the sorted IDs of nodes within range of node id (the
-// NBR_i of Section 5.1). The caller must not modify the returned slice.
-func (nw *Network) Neighbors(id int) []int { return nw.neighbors[id] }
+// NBR_i of Section 5.1) as a zero-copy view of the CSR row. The caller
+// must not modify the returned slice.
+func (nw *Network) Neighbors(id int) []int { return nw.adj[nw.off[id]:nw.off[id+1]] }
 
 // Degree returns the number of neighbors of node id.
-func (nw *Network) Degree(id int) int { return len(nw.neighbors[id]) }
+func (nw *Network) Degree(id int) int { return int(nw.off[id+1] - nw.off[id]) }
+
+// CSRView exposes the raw compressed-sparse-row adjacency: offsets has
+// N()+1 entries and elems[offsets[i]:offsets[i+1]] is node i's neighbor
+// row. Consumers that stream the whole edge set (the radio layer's sort
+// check, the sharded kernel) read it directly instead of re-slicing per
+// node. Both slices are shared with the network — read only.
+func (nw *Network) CSRView() (offsets []int32, elems []int) { return nw.off, nw.adj }
+
+// PositionsView exposes the flat struct-of-arrays position vectors
+// (xs[i], ys[i] = node i's coordinates). The sharded kernel's SoA state
+// aliases these instead of copying. Both slices are shared — read only.
+func (nw *Network) PositionsView() (xs, ys []float64) { return nw.xs, nw.ys }
 
 // AvgDegree returns the mean node degree, a standard density summary.
 func (nw *Network) AvgDegree() float64 {
-	total := 0
-	for _, nbrs := range nw.neighbors {
-		total += len(nbrs)
-	}
-	return float64(total) / float64(len(nw.Nodes))
+	return float64(len(nw.adj)) / float64(len(nw.Nodes))
 }
 
 // Connected reports whether G_r is connected (the paper's standing
-// assumption).
-func (nw *Network) Connected() bool {
-	if len(nw.Nodes) == 0 {
-		return true
-	}
-	return nw.componentSize(0, nil) == len(nw.Nodes)
-}
-
-// componentSize returns the size of the component containing start,
-// restricted to the member set if member != nil.
-func (nw *Network) componentSize(start int, member map[int]bool) int {
-	visited := map[int]bool{start: true}
-	queue := []int{start}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		for _, u := range nw.neighbors[v] {
-			if member != nil && !member[u] {
-				continue
-			}
-			if !visited[u] {
-				visited[u] = true
-				queue = append(queue, u)
-			}
-		}
-	}
-	return len(visited)
-}
+// assumption). Callers validating many candidate deployments should hold
+// a Scratch and call its Connected to amortize the working storage.
+func (nw *Network) Connected() bool { return NewScratch().Connected(nw) }
 
 // CellMembers returns, for each grid cell, the IDs of nodes inside it —
 // the EMUL(i,j) sets of Section 5.1.
@@ -347,8 +342,12 @@ func (nw *Network) CellMembers(g *geom.Grid) [][]int {
 // OccupancyOK reports whether every cell of g holds at least one node —
 // the coverage precondition for topology emulation.
 func (nw *Network) OccupancyOK(g *geom.Grid) bool {
-	for _, m := range nw.CellMembers(g) {
-		if len(m) == 0 {
+	counts := make([]int32, g.N())
+	for i := range nw.Nodes {
+		counts[g.Index(g.CellOf(geom.Point{X: nw.xs[i], Y: nw.ys[i]}))]++
+	}
+	for _, c := range counts {
+		if c == 0 {
 			return false
 		}
 	}
@@ -357,21 +356,10 @@ func (nw *Network) OccupancyOK(g *geom.Grid) bool {
 
 // CellsConnected reports whether the subgraph induced by each cell's
 // members is connected — the paper's assumption on EMUL(i,j). Empty cells
-// fail (they violate occupancy first).
+// fail (they violate occupancy first). See Scratch.CellsConnected for the
+// allocation-free form.
 func (nw *Network) CellsConnected(g *geom.Grid) bool {
-	for _, m := range nw.CellMembers(g) {
-		if len(m) == 0 {
-			return false
-		}
-		member := make(map[int]bool, len(m))
-		for _, id := range m {
-			member[id] = true
-		}
-		if nw.componentSize(m[0], member) != len(m) {
-			return false
-		}
-	}
-	return true
+	return NewScratch().CellsConnected(nw, g)
 }
 
 // AdjacentCellsLinked reports whether every pair of 4-adjacent cells of g
@@ -379,36 +367,9 @@ func (nw *Network) CellsConnected(g *geom.Grid) bool {
 // protocol needs this: forwarding paths stay inside a cell until a node
 // with a direct cross-boundary neighbor hands the message over, so a cell
 // pair with no direct edge is unroutable no matter how connected G_r is.
+// See Scratch.AdjacentCellsLinked for the allocation-free form.
 func (nw *Network) AdjacentCellsLinked(g *geom.Grid) bool {
-	members := nw.CellMembers(g)
-	cellIdx := make([]int, nw.N())
-	for idx, m := range members {
-		for _, id := range m {
-			cellIdx[id] = idx
-		}
-	}
-	linked := make(map[[2]int]bool)
-	for id := range nw.Nodes {
-		for _, nbr := range nw.neighbors[id] {
-			a, b := cellIdx[id], cellIdx[nbr]
-			if a != b {
-				linked[[2]int{a, b}] = true
-			}
-		}
-	}
-	for _, c := range g.Coords() {
-		idx := g.Index(c)
-		for d := geom.North; d < geom.NumDirs; d++ {
-			adj := c.Step(d)
-			if !g.InBounds(adj) {
-				continue
-			}
-			if !linked[[2]int{idx, g.Index(adj)}] {
-				return false
-			}
-		}
-	}
-	return true
+	return NewScratch().AdjacentCellsLinked(nw, g)
 }
 
 // MaxIntraCellPathLen returns the maximum, over all cells, of the longest
@@ -417,52 +378,5 @@ func (nw *Network) AdjacentCellsLinked(g *geom.Grid) bool {
 // proportional to this quantity; experiment E5 verifies it. Cells must be
 // connected.
 func (nw *Network) MaxIntraCellPathLen(g *geom.Grid) int {
-	maxLen := 0
-	for _, m := range nw.CellMembers(g) {
-		if len(m) <= 1 {
-			continue
-		}
-		member := make(map[int]bool, len(m))
-		for _, id := range m {
-			member[id] = true
-		}
-		for _, src := range m {
-			dist := map[int]int{src: 0}
-			queue := []int{src}
-			for len(queue) > 0 {
-				v := queue[0]
-				queue = queue[1:]
-				for _, u := range nw.neighbors[v] {
-					if !member[u] {
-						continue
-					}
-					if _, seen := dist[u]; !seen {
-						dist[u] = dist[v] + 1
-						if dist[u] > maxLen {
-							maxLen = dist[u]
-						}
-						queue = append(queue, u)
-					}
-				}
-			}
-		}
-	}
-	return maxLen
-}
-
-// Generate builds deployments until one satisfies the paper's assumptions
-// for grid g (connected G_r, all cells occupied, all cell subgraphs
-// connected, every adjacent cell pair directly linked), trying up to
-// attempts seeds derived from r. It returns the network and the number of
-// attempts used, or an error if none qualified. Dense deployments
-// (n >> N, r ≥ c·√2) almost always succeed first try.
-func Generate(n int, g *geom.Grid, txRange float64, p Placement, r *rand.Rand, attempts int) (*Network, int, error) {
-	for a := 1; a <= attempts; a++ {
-		nw := New(n, g.Terrain, txRange, p, r)
-		if nw.Connected() && nw.CellsConnected(g) && nw.AdjacentCellsLinked(g) {
-			return nw, a, nil
-		}
-	}
-	return nil, attempts, fmt.Errorf("deploy: no valid deployment in %d attempts (n=%d, grid=%dx%d, range=%v, placement=%s)",
-		attempts, n, g.Cols, g.Rows, txRange, p.Name())
+	return NewScratch().MaxIntraCellPathLen(nw, g)
 }

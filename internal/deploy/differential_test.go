@@ -1,0 +1,477 @@
+package deploy
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"wsnva/internal/geom"
+	"wsnva/internal/parallel"
+)
+
+// ---------------------------------------------------------------------------
+// Legacy oracles. These are the pre-CSR implementations, kept verbatim in
+// the test file as differential references: the map-BFS predicates and the
+// per-node-slice neighbor build the package shipped before the flat CSR
+// core. Every property test below pins the new implementations to them.
+// ---------------------------------------------------------------------------
+
+// legacyBuildNeighbors is the old buildNeighbors: spatial hash into
+// [][]int buckets, per-node append, insertion sort per row.
+func legacyBuildNeighbors(nw *Network) [][]int {
+	n := len(nw.Nodes)
+	neighbors := make([][]int, n)
+	if n == 0 {
+		return neighbors
+	}
+	bs := nw.Range
+	cols := int(nw.Terrain.Width()/bs) + 1
+	rows := int(nw.Terrain.Height()/bs) + 1
+	bucketOf := func(p geom.Point) (int, int) {
+		bx := int((p.X - nw.Terrain.MinX) / bs)
+		by := int((p.Y - nw.Terrain.MinY) / bs)
+		if bx >= cols {
+			bx = cols - 1
+		}
+		if by >= rows {
+			by = rows - 1
+		}
+		if bx < 0 {
+			bx = 0
+		}
+		if by < 0 {
+			by = 0
+		}
+		return bx, by
+	}
+	buckets := make([][]int, cols*rows)
+	for i, nd := range nw.Nodes {
+		bx, by := bucketOf(nd.Pos)
+		buckets[by*cols+bx] = append(buckets[by*cols+bx], i)
+	}
+	r2 := nw.Range * nw.Range
+	for i, nd := range nw.Nodes {
+		bx, by := bucketOf(nd.Pos)
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				nx, ny := bx+dx, by+dy
+				if nx < 0 || nx >= cols || ny < 0 || ny >= rows {
+					continue
+				}
+				for _, j := range buckets[ny*cols+nx] {
+					if j != i && nd.Pos.Dist2(nw.Nodes[j].Pos) <= r2 {
+						neighbors[i] = append(neighbors[i], j)
+					}
+				}
+			}
+		}
+	}
+	for i := range neighbors {
+		row := neighbors[i]
+		for k := 1; k < len(row); k++ {
+			for j := k; j > 0 && row[j] < row[j-1]; j-- {
+				row[j], row[j-1] = row[j-1], row[j]
+			}
+		}
+	}
+	return neighbors
+}
+
+// legacyComponentSize is the old map-BFS component walk, restricted to the
+// member set when member != nil.
+func legacyComponentSize(nw *Network, start int, member map[int]bool) int {
+	visited := map[int]bool{start: true}
+	queue := []int{start}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range nw.Neighbors(v) {
+			if member != nil && !member[u] {
+				continue
+			}
+			if !visited[u] {
+				visited[u] = true
+				queue = append(queue, u)
+			}
+		}
+	}
+	return len(visited)
+}
+
+func legacyConnected(nw *Network) bool {
+	if len(nw.Nodes) == 0 {
+		return true
+	}
+	return legacyComponentSize(nw, 0, nil) == len(nw.Nodes)
+}
+
+func legacyCellsConnected(nw *Network, g *geom.Grid) bool {
+	for _, m := range nw.CellMembers(g) {
+		if len(m) == 0 {
+			return false
+		}
+		member := make(map[int]bool, len(m))
+		for _, id := range m {
+			member[id] = true
+		}
+		if legacyComponentSize(nw, m[0], member) != len(m) {
+			return false
+		}
+	}
+	return true
+}
+
+func legacyAdjacentCellsLinked(nw *Network, g *geom.Grid) bool {
+	members := nw.CellMembers(g)
+	cellIdx := make([]int, nw.N())
+	for idx, m := range members {
+		for _, id := range m {
+			cellIdx[id] = idx
+		}
+	}
+	linked := make(map[[2]int]bool)
+	for id := range nw.Nodes {
+		for _, nbr := range nw.Neighbors(id) {
+			a, b := cellIdx[id], cellIdx[nbr]
+			if a != b {
+				linked[[2]int{a, b}] = true
+			}
+		}
+	}
+	for _, c := range g.Coords() {
+		idx := g.Index(c)
+		for d := geom.North; d < geom.NumDirs; d++ {
+			adj := c.Step(d)
+			if !g.InBounds(adj) {
+				continue
+			}
+			if !linked[[2]int{idx, g.Index(adj)}] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func legacyMaxIntraCellPathLen(nw *Network, g *geom.Grid) int {
+	maxLen := 0
+	for _, m := range nw.CellMembers(g) {
+		if len(m) <= 1 {
+			continue
+		}
+		member := make(map[int]bool, len(m))
+		for _, id := range m {
+			member[id] = true
+		}
+		for _, src := range m {
+			dist := map[int]int{src: 0}
+			queue := []int{src}
+			for len(queue) > 0 {
+				v := queue[0]
+				queue = queue[1:]
+				for _, u := range nw.Neighbors(v) {
+					if !member[u] {
+						continue
+					}
+					if _, seen := dist[u]; !seen {
+						dist[u] = dist[v] + 1
+						if dist[u] > maxLen {
+							maxLen = dist[u]
+						}
+						queue = append(queue, u)
+					}
+				}
+			}
+		}
+	}
+	return maxLen
+}
+
+// ---------------------------------------------------------------------------
+// Random deployment tuples shared by the differential tests.
+// ---------------------------------------------------------------------------
+
+type tuple struct {
+	n       int
+	side    int // grid side
+	rscale  float64
+	place   Placement
+	seed    int64
+	terrain float64 // terrain side length
+}
+
+func randomTuples(count int, seed int64) []tuple {
+	rng := rand.New(rand.NewSource(seed))
+	placements := []Placement{
+		UniformRandom{},
+		PerturbedGrid{Jitter: 0.4},
+		Clustered{Clusters: 5, Spread: 0.2},
+		WithHole{Inner: UniformRandom{}, Hole: geom.Rect{MinX: 10, MinY: 10, MaxX: 30, MaxY: 30}},
+	}
+	out := make([]tuple, count)
+	for i := range out {
+		side := 2 + rng.Intn(5) // 2..6
+		out[i] = tuple{
+			n:       side*side*(3+rng.Intn(8)) + rng.Intn(7),
+			side:    side,
+			rscale:  1.0 + rng.Float64()*0.8,
+			place:   placements[rng.Intn(len(placements))],
+			seed:    rng.Int63(),
+			terrain: float64(side) * 10,
+		}
+	}
+	return out
+}
+
+func (tp tuple) grid() *geom.Grid { return geom.NewSquareGrid(tp.side, tp.terrain) }
+
+func (tp tuple) build() (*Network, *geom.Grid) {
+	g := tp.grid()
+	nw := New(tp.n, g.Terrain, g.CellSide()*tp.rscale, tp.place, rand.New(rand.NewSource(tp.seed)))
+	return nw, g
+}
+
+func sameNetwork(a, b *Network) bool {
+	if a.N() != b.N() || a.Range != b.Range || a.Terrain != b.Terrain {
+		return false
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i] != b.Nodes[i] {
+			return false
+		}
+	}
+	aOff, aAdj := a.CSRView()
+	bOff, bAdj := b.CSRView()
+	return reflect.DeepEqual(aOff, bOff) && reflect.DeepEqual(aAdj, bAdj)
+}
+
+// ---------------------------------------------------------------------------
+// Differential properties.
+// ---------------------------------------------------------------------------
+
+// TestCSRMatchesLegacyBuild pins the CSR construction to the legacy
+// per-node-slice build: for random deployments, every CSR row deep-equals
+// the corresponding legacy list.
+func TestCSRMatchesLegacyBuild(t *testing.T) {
+	for _, tp := range randomTuples(25, 0xC5A) {
+		nw, _ := tp.build()
+		want := legacyBuildNeighbors(nw)
+		for id := 0; id < nw.N(); id++ {
+			got := nw.Neighbors(id)
+			if len(got) == 0 && len(want[id]) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want[id]) {
+				t.Fatalf("tuple %+v: node %d CSR row %v != legacy %v", tp, id, got, want[id])
+			}
+		}
+	}
+}
+
+// TestCSRRowsStrictlyIncreasing is the sortedness property the radio
+// layer's binary search depends on: every CSR row of every constructor is
+// strictly increasing.
+func TestCSRRowsStrictlyIncreasing(t *testing.T) {
+	for _, tp := range randomTuples(25, 0x50F7) {
+		nw, _ := tp.build()
+		off, adj := nw.CSRView()
+		if len(off) != nw.N()+1 {
+			t.Fatalf("tuple %+v: offsets len %d, want %d", tp, len(off), nw.N()+1)
+		}
+		for id := 0; id < nw.N(); id++ {
+			row := adj[off[id]:off[id+1]]
+			for k := 1; k < len(row); k++ {
+				if row[k-1] >= row[k] {
+					t.Fatalf("tuple %+v: node %d row not strictly increasing: %v", tp, id, row)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelBuildMatchesSequential pins pool-independence of the CSR
+// build: the same placement built with a nil pool and a multi-worker pool
+// yields byte-identical networks, including below and above the parallel
+// threshold.
+func TestParallelBuildMatchesSequential(t *testing.T) {
+	pool := parallel.New(4)
+	for _, n := range []int{50, 1200, csrParallelMin + 500} {
+		g := geom.NewSquareGrid(8, 80)
+		seq := NewWithPool(n, g.Terrain, g.CellSide()*1.2, UniformRandom{}, rand.New(rand.NewSource(7)), nil)
+		par := NewWithPool(n, g.Terrain, g.CellSide()*1.2, UniformRandom{}, rand.New(rand.NewSource(7)), pool)
+		if !sameNetwork(seq, par) {
+			t.Fatalf("n=%d: parallel build differs from sequential", n)
+		}
+	}
+}
+
+// TestPredicatesMatchLegacy runs all four validation predicates (plus the
+// path-length metric) against the map-BFS oracles on random deployments.
+func TestPredicatesMatchLegacy(t *testing.T) {
+	s := NewScratch()
+	for _, tp := range randomTuples(40, 0xBEEF) {
+		nw, g := tp.build()
+		if got, want := s.Connected(nw), legacyConnected(nw); got != want {
+			t.Fatalf("tuple %+v: Connected=%v, legacy=%v", tp, got, want)
+		}
+		if got, want := nw.OccupancyOK(g), legacyOccupancyOK(nw, g); got != want {
+			t.Fatalf("tuple %+v: OccupancyOK=%v, legacy=%v", tp, got, want)
+		}
+		if got, want := s.CellsConnected(nw, g), legacyCellsConnected(nw, g); got != want {
+			t.Fatalf("tuple %+v: CellsConnected=%v, legacy=%v", tp, got, want)
+		}
+		if got, want := s.AdjacentCellsLinked(nw, g), legacyAdjacentCellsLinked(nw, g); got != want {
+			t.Fatalf("tuple %+v: AdjacentCellsLinked=%v, legacy=%v", tp, got, want)
+		}
+		if legacyCellsConnected(nw, g) {
+			if got, want := s.MaxIntraCellPathLen(nw, g), legacyMaxIntraCellPathLen(nw, g); got != want {
+				t.Fatalf("tuple %+v: MaxIntraCellPathLen=%d, legacy=%d", tp, got, want)
+			}
+		}
+	}
+}
+
+func legacyOccupancyOK(nw *Network, g *geom.Grid) bool {
+	for _, m := range nw.CellMembers(g) {
+		if len(m) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TestGenerateSeededParallelMatchesSequential pins the speculation
+// contract: for random tuples — including sparse ones that need several
+// attempts, and hopeless ones that exhaust the budget — the parallel and
+// sequential paths return byte-identical networks, identical attempt
+// counts, and identical errors.
+func TestGenerateSeededParallelMatchesSequential(t *testing.T) {
+	pool := parallel.New(4)
+	rng := rand.New(rand.NewSource(0x6E6))
+	for trial := 0; trial < 30; trial++ {
+		side := 2 + rng.Intn(3)
+		g := geom.NewSquareGrid(side, float64(side)*10)
+		// Densities straddling the qualification boundary, so some tuples
+		// succeed on attempt 1, some need retries, some never qualify.
+		n := side * side * (1 + rng.Intn(6))
+		rscale := 0.9 + rng.Float64()*0.6
+		seed := rng.Int63()
+		seqNW, seqA, seqErr := GenerateSeeded(n, g, g.CellSide()*rscale, UniformRandom{}, seed, 8, nil)
+		parNW, parA, parErr := GenerateSeeded(n, g, g.CellSide()*rscale, UniformRandom{}, seed, 8, pool)
+		if (seqErr == nil) != (parErr == nil) {
+			t.Fatalf("trial %d: seq err=%v, par err=%v", trial, seqErr, parErr)
+		}
+		if seqA != parA {
+			t.Fatalf("trial %d: seq attempts=%d, par attempts=%d", trial, seqA, parA)
+		}
+		if seqErr != nil {
+			if seqErr.Error() != parErr.Error() {
+				t.Fatalf("trial %d: error mismatch: %v vs %v", trial, seqErr, parErr)
+			}
+			continue
+		}
+		if !sameNetwork(seqNW, parNW) {
+			t.Fatalf("trial %d: parallel GenerateSeeded network differs from sequential", trial)
+		}
+	}
+}
+
+// TestGenerateSeededAttemptIndependence: attempt a's candidate is a pure
+// function of (seed, a) — rerunning with a budget of exactly a attempts
+// reproduces the same winner.
+func TestGenerateSeededAttemptIndependence(t *testing.T) {
+	g := geom.NewSquareGrid(3, 30)
+	// Sparse enough to fail sometimes.
+	for seed := int64(1); seed <= 12; seed++ {
+		nw, a, err := GenerateSeeded(40, g, g.CellSide()*1.1, UniformRandom{}, seed, 10, nil)
+		if err != nil {
+			continue
+		}
+		again, a2, err2 := GenerateSeeded(40, g, g.CellSide()*1.1, UniformRandom{}, seed, a, nil)
+		if err2 != nil || a2 != a || !sameNetwork(nw, again) {
+			t.Fatalf("seed %d: truncated rerun diverged (a=%d a2=%d err=%v)", seed, a, a2, err2)
+		}
+	}
+}
+
+// TestScratchPredicatesZeroAlloc is the acceptance criterion on the
+// validation predicates: with a warmed scratch, Connected, CellsConnected,
+// AdjacentCellsLinked, and MaxIntraCellPathLen allocate nothing.
+func TestScratchPredicatesZeroAlloc(t *testing.T) {
+	g := geom.NewSquareGrid(8, 80)
+	nw := New(640, g.Terrain, g.CellSide()*1.3, UniformRandom{}, rand.New(rand.NewSource(3)))
+	s := NewScratch()
+	// Warm the buffers to their steady-state sizes.
+	s.Connected(nw)
+	s.CellsConnected(nw, g)
+	s.AdjacentCellsLinked(nw, g)
+	s.MaxIntraCellPathLen(nw, g)
+	checks := []struct {
+		name string
+		fn   func()
+	}{
+		{"Connected", func() { s.Connected(nw) }},
+		{"CellsConnected", func() { s.CellsConnected(nw, g) }},
+		{"AdjacentCellsLinked", func() { s.AdjacentCellsLinked(nw, g) }},
+		{"MaxIntraCellPathLen", func() { s.MaxIntraCellPathLen(nw, g) }},
+	}
+	for _, c := range checks {
+		if allocs := testing.AllocsPerRun(20, c.fn); allocs != 0 {
+			t.Errorf("%s: %v allocs/run on warmed scratch, want 0", c.name, allocs)
+		}
+	}
+}
+
+// TestWithHoleNearTotalHole exercises the documented rejection fallback: a
+// hole covering the entire terrain can never accept a sample, so every
+// point must land deterministically on the terrain corner farthest from
+// the hole center — and Place must terminate rather than panic.
+func TestWithHoleNearTotalHole(t *testing.T) {
+	terrain := geom.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+	// Hole centered in the terrain's NE region: farthest corner is (0,0).
+	w := WithHole{Inner: UniformRandom{}, Hole: geom.Rect{MinX: -50, MinY: -50, MaxX: 300, MaxY: 300}}
+	// Center of that hole is (125,125); farthest terrain corner is (0,0).
+	pts := w.Place(20, terrain, rand.New(rand.NewSource(1)))
+	if len(pts) != 20 {
+		t.Fatalf("got %d points, want 20", len(pts))
+	}
+	for i, p := range pts {
+		if p != (geom.Point{X: 0, Y: 0}) {
+			t.Fatalf("point %d = %v, want fallback corner (0,0)", i, p)
+		}
+	}
+}
+
+// TestWithHolePartialStillRejects: the fallback must not fire for holes
+// that leave room — every point lands outside the hole, none on a corner
+// pile-up.
+func TestWithHolePartialStillRejects(t *testing.T) {
+	terrain := geom.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+	// 99% of the terrain is hole; the east strip x ∈ (99,100) remains.
+	w := WithHole{Inner: UniformRandom{}, Hole: geom.Rect{MinX: 0, MinY: 0, MaxX: 99, MaxY: 100}}
+	pts := w.Place(50, terrain, rand.New(rand.NewSource(2)))
+	if len(pts) != 50 {
+		t.Fatalf("got %d points, want 50", len(pts))
+	}
+	for i, p := range pts {
+		if w.Hole.Contains(p) {
+			t.Fatalf("point %d = %v inside the hole", i, p)
+		}
+	}
+}
+
+// TestPositionsViewAliasesNodes: the SoA position vectors agree with the
+// node table and share the network's lifetime (consumers alias them).
+func TestPositionsViewAliasesNodes(t *testing.T) {
+	g := geom.NewSquareGrid(4, 40)
+	nw := New(100, g.Terrain, g.CellSide()*1.2, UniformRandom{}, rand.New(rand.NewSource(9)))
+	xs, ys := nw.PositionsView()
+	if len(xs) != nw.N() || len(ys) != nw.N() {
+		t.Fatalf("views have %d/%d entries for %d nodes", len(xs), len(ys), nw.N())
+	}
+	for i, nd := range nw.Nodes {
+		if xs[i] != nd.Pos.X || ys[i] != nd.Pos.Y {
+			t.Fatalf("node %d: view (%v,%v) != pos %v", i, xs[i], ys[i], nd.Pos)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package deploy
+
+import (
+	"encoding/binary"
+	"sort"
+	"testing"
+
+	"wsnva/internal/geom"
+)
+
+// FuzzCSRNeighbors decodes arbitrary bytes into a point set and a range
+// and holds the CSR adjacency to its three invariants against a brute-
+// force O(n²) reference: every row strictly increasing, the relation
+// symmetric, and membership exactly "distance ≤ range, excluding self".
+func FuzzCSRNeighbors(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	seed := make([]byte, 64)
+	for i := range seed {
+		seed[i] = byte(i * 37)
+	}
+	f.Add(seed)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const terrainSide = 64.0
+		terrain := geom.Rect{MinX: 0, MinY: 0, MaxX: terrainSide, MaxY: terrainSide}
+		// First two bytes pick the transmission range in (0, ~16].
+		txRange := 0.25 + float64(uint16(len(data))*7%997)/997*16
+		if len(data) >= 2 {
+			txRange = 0.25 + float64(binary.LittleEndian.Uint16(data[:2]))/65535*16
+			data = data[2:]
+		}
+		// Each subsequent 4-byte chunk is one point (2 bytes per axis),
+		// capped so the brute-force check stays fast.
+		n := len(data) / 4
+		if n > 192 {
+			n = 192
+		}
+		pts := make([]geom.Point, n)
+		for i := 0; i < n; i++ {
+			u := binary.LittleEndian.Uint16(data[4*i:])
+			v := binary.LittleEndian.Uint16(data[4*i+2:])
+			pts[i] = geom.Point{
+				X: float64(u) / 65536 * terrainSide,
+				Y: float64(v) / 65536 * terrainSide,
+			}
+		}
+		nw := FromPoints(pts, terrain, txRange)
+
+		off, adj := nw.CSRView()
+		if len(off) != n+1 || int(off[0]) != 0 || int(off[n]) != len(adj) {
+			t.Fatalf("malformed CSR frame: n=%d off=%v len(adj)=%d", n, off, len(adj))
+		}
+		r2 := txRange * txRange
+		for i := 0; i < n; i++ {
+			row := adj[off[i]:off[i+1]]
+			for k := 1; k < len(row); k++ {
+				if row[k-1] >= row[k] {
+					t.Fatalf("node %d row not strictly increasing: %v", i, row)
+				}
+			}
+			// Range-correctness and symmetry against brute force.
+			for j := 0; j < n; j++ {
+				want := i != j && pts[i].Dist2(pts[j]) <= r2
+				got := sort.SearchInts(row, j) < len(row) && row[sort.SearchInts(row, j)] == j
+				if got != want {
+					t.Fatalf("edge (%d,%d): CSR=%v, brute-force=%v (dist2=%v r2=%v)",
+						i, j, got, want, pts[i].Dist2(pts[j]), r2)
+				}
+				if got {
+					rev := adj[off[j]:off[j+1]]
+					k := sort.SearchInts(rev, i)
+					if k >= len(rev) || rev[k] != i {
+						t.Fatalf("edge (%d,%d) present but (%d,%d) missing", i, j, j, i)
+					}
+				}
+			}
+		}
+	})
+}

@@ -160,13 +160,14 @@ func NewMedium(nw *deploy.Network, kernel *sim.Kernel, ledger *cost.Ledger, rng 
 	}
 	// The unicast neighbor check binary-searches the adjacency lists, so
 	// their documented sort order is load-bearing; verify it once here
-	// rather than trusting every Network constructor forever.
+	// rather than trusting every Network constructor forever. One linear
+	// scan over the flat CSR element array, checking inside each row.
+	offsets, elems := nw.CSRView()
 	for id := 0; id < nw.N(); id++ {
-		nbrs := nw.Neighbors(id)
-		for i := 1; i < len(nbrs); i++ {
-			if nbrs[i-1] >= nbrs[i] {
+		for e := int(offsets[id]) + 1; e < int(offsets[id+1]); e++ {
+			if elems[e-1] >= elems[e] {
 				panic(fmt.Sprintf("radio: adjacency list of node %d not strictly ascending (%d then %d)",
-					id, nbrs[i-1], nbrs[i]))
+					id, elems[e-1], elems[e]))
 			}
 		}
 	}

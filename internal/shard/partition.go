@@ -59,13 +59,14 @@ func NewPartition(nw *deploy.Network, shards int) *Partition {
 	}
 	t := nw.Terrain
 	w, h := t.Width(), t.Height()
-	for i, nd := range nw.Nodes {
+	xs, ys := nw.PositionsView()
+	for i := 0; i < nw.N(); i++ {
 		col, row := 0, 0
 		if w > 0 {
-			col = clampInt(int(float64(cols)*(nd.Pos.X-t.MinX)/w), 0, cols-1)
+			col = clampInt(int(float64(cols)*(xs[i]-t.MinX)/w), 0, cols-1)
 		}
 		if h > 0 {
-			row = clampInt(int(float64(rows)*(nd.Pos.Y-t.MinY)/h), 0, rows-1)
+			row = clampInt(int(float64(rows)*(ys[i]-t.MinY)/h), 0, rows-1)
 		}
 		s := int32(row*cols + col)
 		p.Owner[i] = s

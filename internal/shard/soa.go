@@ -14,7 +14,10 @@ import (
 type State struct {
 	N int
 
-	// Position, copied out of the deployment once at construction.
+	// Position — zero-copy aliases of the deployment's struct-of-arrays
+	// position vectors (deploy.Network.PositionsView). Read-only by
+	// contract: the deployment is immutable after construction, and no
+	// shard code writes positions.
 	X []float64
 	Y []float64
 
@@ -68,10 +71,11 @@ type State struct {
 // NewState builds the SoA layout for a deployment, all nodes alive.
 func NewState(nw *deploy.Network) *State {
 	n := nw.N()
+	xs, ys := nw.PositionsView()
 	st := &State{
 		N:           n,
-		X:           make([]float64, n),
-		Y:           make([]float64, n),
+		X:           xs,
+		Y:           ys,
 		Alive:       make([]bool, n),
 		Suspended:   make([]bool, n),
 		GaspUntil:   make([]sim.Time, n),
@@ -84,9 +88,7 @@ func NewState(nw *deploy.Network) *State {
 		timerSet:    make([]bool, n),
 		timerFired:  make([]bool, n),
 	}
-	for i, nd := range nw.Nodes {
-		st.X[i] = nd.Pos.X
-		st.Y[i] = nd.Pos.Y
+	for i := 0; i < n; i++ {
 		st.Alive[i] = true
 		st.GaspUntil[i] = -1
 		st.FirstAt[i] = -1
